@@ -1,0 +1,56 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+(Section VII).  Rendered results are printed and also written under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import SDBConfig, SDBGenerator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write one experiment's rendered output to disk and stdout."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def sdb_small():
+    """A small S-DB instance shared by CPU-breakdown experiments."""
+    generator = SDBGenerator(
+        SDBConfig(
+            table_count=2,
+            initial_table_bytes=1 << 20,
+            version_count=6,
+            seed=2021,
+        )
+    )
+    return generator, generator.versions()
+
+
+@pytest.fixture(scope="session")
+def sdb_25_versions():
+    """The paper-shaped 25-version S-DB run (scaled to 2 x 1 MiB tables)."""
+    generator = SDBGenerator(
+        SDBConfig(
+            table_count=2,
+            initial_table_bytes=1 << 20,
+            version_count=25,
+            seed=2021,
+        )
+    )
+    return generator, generator.versions()

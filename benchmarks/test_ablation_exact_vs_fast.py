@@ -1,0 +1,88 @@
+"""Ablation: fast online dedup vs exact dedup — the paper's core trade.
+
+SLIMSTORE's thesis (Section I) is that neither pure approach fits the
+cloud: exact dedup (DDFS-style, full index on OSS) maximises the ratio
+but pays remote index lookups online; fast similarity dedup keeps the
+L-node quick but misses some duplicates.  SLIMSTORE's hybrid runs fast
+online and closes the ratio gap offline with reverse dedup.
+
+This ablation measures all three on the same workload.
+"""
+
+from __future__ import annotations
+
+from repro import ObjectStorageService, SlimStore, SlimStoreConfig
+from repro.baselines import DDFSSystem
+from repro.bench.harness import run_backup_series, run_slimstore_series
+from repro.bench.reporting import format_table
+from repro.workloads import SDBConfig, SDBGenerator
+
+CONFIG = SlimStoreConfig(chunk_merging=False)
+
+
+def run_three_way():
+    generator = SDBGenerator(
+        SDBConfig(table_count=2, initial_table_bytes=1 << 20,
+                  version_count=6, seed=88)
+    )
+    versions = generator.versions()
+
+    ddfs = DDFSSystem(ObjectStorageService(), CONFIG)
+    ddfs_series = run_backup_series("DDFS", ddfs.backup, versions)
+
+    fast_store = SlimStore(
+        CONFIG.with_overrides(reverse_dedup=False, sparse_compaction=False)
+    )
+    fast_series = run_slimstore_series(fast_store, versions, run_gnode=False)
+
+    hybrid_store = SlimStore(
+        CONFIG.with_overrides(reverse_dedup=True, sparse_compaction=False)
+    )
+    hybrid_series = run_slimstore_series(hybrid_store, versions, run_gnode=True)
+    # Offline maintenance finishes reclaiming what reverse dedup marked.
+    hybrid_store.gnode.deep_clean()
+
+    return (
+        ddfs_series, fast_series, hybrid_series,
+        ddfs.stored_bytes(),
+        fast_store.space_report().container_bytes,
+        hybrid_store.space_report().container_bytes,
+    )
+
+
+def test_ablation_exact_vs_fast_vs_hybrid(benchmark, record):
+    (ddfs_series, fast_series, hybrid_series,
+     ddfs_space, fast_space, hybrid_space) = benchmark.pedantic(
+        run_three_way, rounds=1, iterations=1
+    )
+
+    logical = ddfs_series.total_logical_bytes()
+    rows = [
+        ["DDFS (exact online)", f"{ddfs_series.mean_throughput():.0f}",
+         f"{ddfs_space / (1 << 20):.2f}", f"{logical / ddfs_space:.2f}x"],
+        ["SLIMSTORE L-dedupe only", f"{fast_series.mean_throughput():.0f}",
+         f"{fast_space / (1 << 20):.2f}", f"{logical / fast_space:.2f}x"],
+        ["SLIMSTORE + reverse dedup", f"{hybrid_series.mean_throughput():.0f}",
+         f"{hybrid_space / (1 << 20):.2f}", f"{logical / hybrid_space:.2f}x"],
+    ]
+    record(
+        "ablation_exact_vs_fast",
+        format_table(
+            "Ablation: exact vs fast vs hybrid deduplication (6 versions S-DB)",
+            ["system", "online MB/s", "stored MB", "reduction"],
+            rows,
+        ),
+    )
+
+    # Fast online dedup outruns exact online dedup...
+    assert fast_series.mean_throughput() > 1.2 * ddfs_series.mean_throughput()
+    # ...but stores more (it misses some duplicates).
+    assert fast_space >= ddfs_space * 0.99
+    # The hybrid keeps the online speed (G-node work is offline)...
+    assert hybrid_series.mean_throughput() > 0.9 * fast_series.mean_throughput()
+    # ...and closes most of the space gap to exact dedup offline.
+    gap_fast = fast_space - ddfs_space
+    gap_hybrid = max(0, hybrid_space - ddfs_space)
+    if gap_fast > 16 * 1024:
+        assert gap_hybrid < 0.6 * gap_fast, (ddfs_space, fast_space, hybrid_space)
+    assert hybrid_space <= fast_space

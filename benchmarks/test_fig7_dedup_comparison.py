@@ -1,0 +1,108 @@
+"""Fig 7: fast online deduplication vs SiLO and Sparse Indexing.
+
+Paper findings: before chunk merging triggers (version 6 at merge
+threshold 5), SLIMSTORE outruns SiLO 1.32x and Sparse Indexing 1.39x on
+throughput with all three at almost the same dedup ratio.  Version 6 dips
+(superchunks are written to OSS), after which SLIMSTORE leads 1.63x /
+1.72x at the cost of ~1.5% dedup ratio.
+"""
+
+from __future__ import annotations
+
+from repro import ObjectStorageService, SlimStore, SlimStoreConfig
+from repro.baselines import SiLOSystem, SparseIndexingSystem
+from repro.bench.harness import run_backup_series, run_slimstore_series
+from repro.bench.reporting import format_series
+from repro.workloads import SDBConfig, SDBGenerator
+
+MERGE_THRESHOLD = 5
+VERSIONS = 12
+
+
+def run_three_systems():
+    generator = SDBGenerator(
+        SDBConfig(table_count=2, initial_table_bytes=2 << 20,
+                  version_count=VERSIONS, hot_page_fraction=0.08, seed=23)
+    )
+    versions = generator.versions()
+
+    config = SlimStoreConfig(
+        merge_threshold=MERGE_THRESHOLD,
+        min_superchunk_bytes=16 * 1024,
+        max_superchunk_bytes=64 * 1024,
+        reverse_dedup=False,
+        sparse_compaction=False,
+    )
+    slim = run_slimstore_series(SlimStore(config), versions, run_gnode=False)
+
+    silo_system = SiLOSystem(ObjectStorageService(), SlimStoreConfig())
+    silo = run_backup_series("SiLO", silo_system.backup, versions)
+
+    sparse_system = SparseIndexingSystem(ObjectStorageService(), SlimStoreConfig())
+    sparse = run_backup_series("SparseIndexing", sparse_system.backup, versions)
+    return slim, silo, sparse
+
+
+def test_fig7_dedup_comparison(benchmark, record):
+    slim, silo, sparse = benchmark.pedantic(run_three_systems, rounds=1, iterations=1)
+
+    labels = [f"v{i}" for i in range(VERSIONS)]
+    record(
+        "fig7a_throughput",
+        format_series(
+            "Fig 7(a): dedup throughput (MB/s) per version",
+            "version", labels,
+            {"SLIMSTORE": slim.throughputs(), "SiLO": silo.throughputs(),
+             "SparseIndexing": sparse.throughputs()},
+        ),
+    )
+    record(
+        "fig7b_ratio",
+        format_series(
+            "Fig 7(b): dedup ratio (%) per version",
+            "version", labels,
+            {"SLIMSTORE": [100 * r for r in slim.dedup_ratios()],
+             "SiLO": [100 * r for r in silo.dedup_ratios()],
+             "SparseIndexing": [100 * r for r in sparse.dedup_ratios()]},
+        ),
+    )
+
+    def mean(values):
+        return sum(values) / len(values)
+
+    # duplicateTimes reaches the threshold at version MERGE_THRESHOLD, so
+    # the superchunk-writing dip lands there (the paper's "version 6" with
+    # its threshold-5 counting); steady state resumes two versions later.
+    before = slice(1, MERGE_THRESHOLD)            # v1..v4: no merging yet
+    after = slice(MERGE_THRESHOLD + 2, VERSIONS)  # v7..: post-merge steady state
+
+    slim_before = mean(slim.throughputs()[before])
+    slim_after = mean(slim.throughputs()[after])
+    silo_before, silo_after = mean(silo.throughputs()[before]), mean(silo.throughputs()[after])
+    sparse_before, sparse_after = (
+        mean(sparse.throughputs()[before]), mean(sparse.throughputs()[after])
+    )
+
+    # Before merging: SLIMSTORE leads via stateless dedup + skip chunking
+    # (paper: 1.32x over SiLO, 1.39x over Sparse Indexing).
+    assert 1.1 <= slim_before / silo_before <= 2.2, slim_before / silo_before
+    assert 1.1 <= slim_before / sparse_before <= 2.4, slim_before / sparse_before
+
+    # The merge-trigger version dips: superchunks are written to OSS.
+    dip = slim.throughputs()[MERGE_THRESHOLD]
+    assert dip < 0.8 * slim_before
+    assert dip < 0.8 * slim_after
+
+    # After merging the lead widens (paper: 1.63x / 1.72x).
+    assert slim_after / silo_after > slim_before / silo_before
+    assert slim_after / sparse_after > slim_before / sparse_before
+    assert slim_after / sparse_after >= 1.3
+
+    # Dedup ratios: all three close before merging; SLIMSTORE loses only a
+    # little after (paper: ~1.5%).
+    slim_ratio_before = mean(slim.dedup_ratios()[before])
+    silo_ratio_before = mean(silo.dedup_ratios()[before])
+    assert abs(slim_ratio_before - silo_ratio_before) < 0.08
+    slim_ratio_after = mean(slim.dedup_ratios()[after])
+    silo_ratio_after = mean(silo.dedup_ratios()[after])
+    assert silo_ratio_after - slim_ratio_after < 0.08

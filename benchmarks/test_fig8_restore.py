@@ -1,0 +1,214 @@
+"""Fig 8: restore performance — FV cache, SCC, and the baselines.
+
+Paper findings:
+(a,b) with prefetching disabled, the FV cache beats ALACC which beats the
+      OPT container cache (container-granular caching wastes space on
+      useless chunks; LAW-limited vision loses distant fragments).  FV
+      reads every container at most once.
+(c)   at a large cache, read amplification of the *freshly backed-up*
+      version is driven by sparse containers: with SCC the containers read
+      per 100 MB stabilise after ~v7, while ALACC (no sparse-container
+      treatment) keeps growing over versions.
+(d)   with LAW prefetching on, SCC+FV restores the new version fastest and
+      its speed does not decay with version age, unlike ALACC's.
+
+Restores for (c) and (d) run immediately after each version's backup —
+the paper's perspective of "restore performance of the new version over
+time".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SlimStore, SlimStoreConfig
+from repro.baselines import ALACCRestorer, HARDriver, OPTCacheRestorer
+from repro.bench.reporting import format_series, format_table
+from repro.core.restore import RestoreEngine
+from repro.core.storage import StorageLayer
+from repro.oss.object_store import ObjectStorageService
+from repro.sim.cost_model import CostModel
+
+CONTAINER = 512 * 1024
+CACHE_SIZES = [1 << 20, 2 << 20, 4 << 20, 8 << 20]
+SAMPLED = list(range(1, 25, 3))
+BIG_CACHE = 8 << 20
+THREADS = 6
+
+
+def _slim_config(scc: bool) -> SlimStoreConfig:
+    return SlimStoreConfig(
+        sparse_compaction=scc,
+        reverse_dedup=False,
+        container_bytes=CONTAINER,
+        min_superchunk_bytes=16 * 1024,
+        max_superchunk_bytes=64 * 1024,
+    )
+
+
+def _fv_restore(store: SlimStore, path: str, version: int, cache_bytes: int,
+                threads: int):
+    config = store.config.with_overrides(
+        restore_cache_bytes=cache_bytes,
+        restore_disk_cache_bytes=4 * cache_bytes,
+        verify_restore=False,
+    )
+    engine = RestoreEngine(config, store.storage, store.cost_model)
+    return engine.restore(path, version, prefetch_threads=threads)
+
+
+def _records(storage: StorageLayer, path: str, version: int):
+    return storage.recipes.get_recipe(path, version).all_records()
+
+
+@pytest.fixture(scope="module")
+def fig8_data(sdb_25_versions):
+    """Backups on three systems with at-time restore measurements."""
+    _, versions = sdb_25_versions
+    path = versions[0].files[0].path
+
+    scc_store = SlimStore(_slim_config(scc=True))
+    plain_store = SlimStore(_slim_config(scc=False))
+    har_storage = StorageLayer.create(ObjectStorageService(CostModel()))
+    har = HARDriver(_slim_config(scc=False), har_storage)
+
+    at_time: dict[str, list] = {"SCC+FV": [], "HAR+OPT": [], "ALACC": []}
+    for dataset_version in versions:
+        for item in dataset_version.files:
+            scc_store.backup(item.path, item.data)
+            plain_store.backup(item.path, item.data, run_gnode=False)
+            har.backup(item.path, item.data)
+        target = dataset_version.version
+        if target not in SAMPLED:
+            continue
+        at_time["SCC+FV"].append(
+            _fv_restore(scc_store, path, target, BIG_CACHE, THREADS)
+        )
+        at_time["HAR+OPT"].append(
+            OPTCacheRestorer(
+                har_storage.containers, BIG_CACHE // CONTAINER,
+                prefetch_threads=THREADS,
+            ).restore(_records(har_storage, path, target))
+        )
+        at_time["ALACC"].append(
+            ALACCRestorer(
+                plain_store.storage.containers, BIG_CACHE // 2, BIG_CACHE // 2,
+                prefetch_threads=THREADS,
+            ).restore(_records(plain_store.storage, path, target))
+        )
+    return versions, scc_store, plain_store, har_storage, at_time
+
+
+def test_fig8ab_cache_comparison(benchmark, record, fig8_data):
+    versions, _scc_store, plain_store, _har, _at_time = fig8_data
+    path = versions[0].files[0].path
+    target = 22  # a late version: fragmentation fully developed
+
+    def run():
+        rows = {}
+        for cache_bytes in CACHE_SIZES:
+            fv = _fv_restore(plain_store, path, target, cache_bytes, threads=0)
+            records = _records(plain_store.storage, path, target)
+            opt = OPTCacheRestorer(
+                plain_store.storage.containers, max(1, cache_bytes // CONTAINER)
+            ).restore(records)
+            alacc = ALACCRestorer(
+                plain_store.storage.containers, cache_bytes // 2, cache_bytes // 2
+            ).restore(records)
+            rows[cache_bytes] = (fv, opt, alacc)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for cache_bytes, (fv, opt, alacc) in rows.items():
+        table.append([
+            f"{cache_bytes >> 20}MB",
+            f"{fv.containers_per_100mb:.0f}", f"{fv.throughput_mb_s:.1f}",
+            f"{opt.containers_per_100mb:.0f}", f"{opt.throughput_mb_s:.1f}",
+            f"{alacc.containers_per_100mb:.0f}", f"{alacc.throughput_mb_s:.1f}",
+        ])
+    record(
+        "fig8ab_cache_comparison",
+        format_table(
+            "Fig 8(a,b): restore caches at version 22 (prefetch off)",
+            ["cache", "FV ctr/100MB", "FV MB/s",
+             "OPT ctr/100MB", "OPT MB/s", "ALACC ctr/100MB", "ALACC MB/s"],
+            table,
+        ),
+    )
+
+    for cache_bytes, (fv, opt, alacc) in rows.items():
+        # FV never re-reads a container and reads the fewest.
+        assert fv.counters.get("repeated_container_reads") == 0
+        assert fv.containers_read <= opt.containers_read
+        assert fv.containers_read <= alacc.containers_read
+        assert fv.throughput_mb_s >= 0.95 * max(opt.throughput_mb_s, alacc.throughput_mb_s)
+    # The container-granular OPT cache suffers most at the smallest cache
+    # (useless chunks occupy whole-container slots).
+    small_fv, small_opt, small_alacc = rows[CACHE_SIZES[0]]
+    assert small_opt.containers_read >= small_alacc.containers_read
+    assert small_opt.containers_read > small_fv.containers_read
+
+
+def test_fig8c_read_amplification_over_versions(benchmark, record, fig8_data):
+    _versions, _scc, _plain, _har, at_time = benchmark.pedantic(
+        lambda: fig8_data, rounds=1, iterations=1
+    )
+    series = {
+        name: [result.containers_per_100mb for result in results]
+        for name, results in at_time.items()
+    }
+    record(
+        "fig8c_containers_per_version",
+        format_series(
+            "Fig 8(c): containers read per 100 MB, new version at its own time",
+            "version", [f"v{v}" for v in SAMPLED], series,
+        ),
+    )
+
+    scc_series = series["SCC+FV"]
+    alacc_series = series["ALACC"]
+
+    def mean(values):
+        return sum(values) / len(values)
+
+    # SCC stabilises: the late-era average reads barely more containers
+    # than the v7/v10 era (the paper's "stabilizing after version 7").
+    scc_mid = mean(scc_series[2:4])
+    scc_late = mean(scc_series[5:])
+    assert scc_late <= 1.30 * scc_mid, (scc_mid, scc_late, scc_series)
+    # ALACC (no sparse-container treatment) keeps growing over versions...
+    assert alacc_series[-1] > 3.0 * alacc_series[0]
+    assert mean(alacc_series[5:]) > 1.15 * mean(alacc_series[2:4])
+    # ...and ends above SCC+FV.
+    assert alacc_series[-1] > scc_series[-1]
+
+
+def test_fig8d_prefetch_throughput(benchmark, record, fig8_data):
+    _versions, _scc, _plain, _har, at_time = benchmark.pedantic(
+        lambda: fig8_data, rounds=1, iterations=1
+    )
+    series = {
+        name: [result.throughput_mb_s for result in results]
+        for name, results in at_time.items()
+    }
+    record(
+        "fig8d_prefetch_throughput",
+        format_series(
+            "Fig 8(d): restore throughput (MB/s) with LAW prefetching (6 threads)",
+            "version", [f"v{v}" for v in SAMPLED], series,
+        ),
+    )
+
+    fv_tput = series["SCC+FV"]
+    har_tput = series["HAR+OPT"]
+    alacc_tput = series["ALACC"]
+    # SCC+FV leads on late versions (the paper's 9.75x / 16.35x gaps
+    # compress at this scale, but the ordering must hold).
+    assert fv_tput[-1] > har_tput[-1]
+    assert fv_tput[-1] > alacc_tput[-1]
+    # New versions restore about as fast as early ones under SCC+FV.
+    assert fv_tput[-1] >= 0.75 * fv_tput[0]
+    # ALACC's restore speed decays over versions.
+    assert alacc_tput[-1] < 0.8 * alacc_tput[0]

@@ -1,0 +1,64 @@
+"""Table II: restore throughput vs prefetching thread count.
+
+Paper: 36 / 38 / 75 / 154 / 207 / 208 / 208 MB/s for 0/1/2/4/6/8/10
+threads — linear scaling of parallel OSS channels until the restore
+pipeline's CPU side becomes the bottleneck, around six threads.
+"""
+
+from __future__ import annotations
+
+from repro import SlimStore, SlimStoreConfig
+from repro.bench.reporting import format_table
+from repro.workloads import SDBConfig, SDBGenerator
+
+THREAD_COUNTS = [0, 1, 2, 4, 6, 8, 10]
+
+
+def run_thread_sweep():
+    generator = SDBGenerator(
+        SDBConfig(table_count=1, initial_table_bytes=2 << 20, version_count=10,
+                  duplication_ratio_min=0.84, duplication_ratio_max=0.84,
+                  seed=31)
+    )
+    store = SlimStore(SlimStoreConfig(reverse_dedup=False))
+    path = None
+    for dataset_version in generator.versions():
+        for item in dataset_version.files:
+            store.backup(item.path, item.data)
+            path = item.path
+    results = {}
+    for threads in THREAD_COUNTS:
+        results[threads] = store.restore(
+            path, prefetch_threads=threads, verify=False
+        )
+    return results
+
+
+def test_table2_prefetch_thread_scaling(benchmark, record):
+    results = benchmark.pedantic(run_thread_sweep, rounds=1, iterations=1)
+
+    throughputs = {t: r.throughput_mb_s for t, r in results.items()}
+    record(
+        "table2_prefetch_threads",
+        format_table(
+            "Table II: restore throughput vs prefetching thread number",
+            ["Prefetching Thread Number", *map(str, THREAD_COUNTS)],
+            [["Restore Throughput (MB/s)",
+              *(f"{throughputs[t]:.0f}" for t in THREAD_COUNTS)]],
+        ),
+    )
+
+    # Monotone non-decreasing with threads.
+    ordered = [throughputs[t] for t in THREAD_COUNTS]
+    for left, right in zip(ordered, ordered[1:]):
+        assert right >= left * 0.98
+    # Roughly linear early scaling: 4 threads ~2x of 2 threads.
+    assert 1.6 <= throughputs[4] / throughputs[2] <= 2.2
+    # Saturation by 8 threads: 10 adds (almost) nothing.
+    assert throughputs[10] <= 1.05 * throughputs[8]
+    # The saturated rate is several times the single-channel rate
+    # (paper: 208 vs 36 MB/s).
+    assert throughputs[10] >= 4 * throughputs[1]
+    # The restored data is byte-correct regardless of thread count.
+    reference = results[0].data
+    assert all(r.data == reference for r in results.values())

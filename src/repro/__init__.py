@@ -1,0 +1,37 @@
+"""SLIMSTORE reproduction — a cloud-based deduplication system for
+multi-version backups (Zhang et al., ICDE 2021).
+
+Quickstart::
+
+    from repro import SlimStore
+
+    store = SlimStore()
+    report = store.backup("db/users.tbl", version0_bytes)
+    report = store.backup("db/users.tbl", version1_bytes)
+    restored = store.restore("db/users.tbl")          # latest version
+    assert restored.data == version1_bytes
+
+See :mod:`repro.core` for the system, :mod:`repro.baselines` for the
+comparators (SiLO, Sparse Indexing, HAR, restore caches, restic model),
+:mod:`repro.workloads` for the S-DB / R-Data dataset generators, and
+:mod:`repro.bench` for the experiment harness regenerating every table and
+figure of the paper's evaluation.
+"""
+
+from repro.core.config import SlimStoreConfig
+from repro.core.system import BackupReport, RestoreReport, SlimStore, SpaceReport
+from repro.oss.object_store import ObjectStorageService
+from repro.sim.cost_model import CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SlimStore",
+    "SlimStoreConfig",
+    "BackupReport",
+    "RestoreReport",
+    "SpaceReport",
+    "ObjectStorageService",
+    "CostModel",
+    "__version__",
+]

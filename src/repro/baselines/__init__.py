@@ -1,0 +1,34 @@
+"""Published comparators re-implemented from scratch.
+
+The paper evaluates SLIMSTORE against SiLO and Sparse Indexing (online
+deduplication, Fig 7), HAR + OPT cache and ALACC (restore, Fig 8), and the
+open-source restic system (Fig 10).  Each lives here as a full
+implementation over the same OSS substrate and cost model, so every
+comparison is apples-to-apples.
+"""
+
+from repro.baselines.caches import (
+    ALACCRestorer,
+    BaselineRestoreResult,
+    FAARestorer,
+    LRUContainerRestorer,
+    OPTCacheRestorer,
+)
+from repro.baselines.ddfs import DDFSSystem
+from repro.baselines.har import HARDriver
+from repro.baselines.silo import SiLOSystem
+from repro.baselines.sparse_indexing import SparseIndexingSystem
+from repro.baselines.restic import ResticRepository
+
+__all__ = [
+    "BaselineRestoreResult",
+    "LRUContainerRestorer",
+    "OPTCacheRestorer",
+    "FAARestorer",
+    "ALACCRestorer",
+    "DDFSSystem",
+    "HARDriver",
+    "SiLOSystem",
+    "SparseIndexingSystem",
+    "ResticRepository",
+]

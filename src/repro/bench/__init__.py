@@ -1,0 +1,26 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+Each benchmark under ``benchmarks/`` drives these helpers: dataset runners
+that push a workload through a system and collect per-version statistics,
+cluster-scaling arithmetic for Fig 10 / Table II, and plain-text renderers
+that print the same rows and series the paper reports.
+"""
+
+from repro.bench.harness import BackupSeries, VersionStats, run_slimstore_series
+from repro.bench.reporting import format_series, format_table
+from repro.bench.scaling import (
+    restic_aggregate_throughput,
+    slimstore_backup_scaling,
+    slimstore_restore_scaling,
+)
+
+__all__ = [
+    "VersionStats",
+    "BackupSeries",
+    "run_slimstore_series",
+    "format_table",
+    "format_series",
+    "slimstore_backup_scaling",
+    "slimstore_restore_scaling",
+    "restic_aggregate_throughput",
+]

@@ -1,0 +1,112 @@
+"""Dataset runners: push a workload through a system, collect statistics.
+
+Every backup system in this repository (SLIMSTORE, SiLO, Sparse Indexing,
+HAR, restic) reports per-job results with ``logical_bytes``,
+``stored_chunk_bytes``, a ``breakdown`` and a dedup ratio; the runner
+aggregates them per dataset version, which is the granularity the paper's
+figures use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.system import SlimStore
+from repro.sim.metrics import Counters, TimeBreakdown
+from repro.workloads.base import DatasetVersion
+
+
+@dataclass
+class VersionStats:
+    """Aggregated backup statistics for one dataset version."""
+
+    version: int
+    logical_bytes: int = 0
+    stored_chunk_bytes: int = 0
+    elapsed_seconds: float = 0.0
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of logical bytes eliminated in this version."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return 1.0 - self.stored_chunk_bytes / self.logical_bytes
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Aggregate dedup throughput of the version's jobs in MB/s."""
+        if self.elapsed_seconds == 0:
+            return 0.0
+        return self.logical_bytes / self.elapsed_seconds / (1 << 20)
+
+    def absorb(self, result) -> None:
+        """Fold one per-file job result into this version's aggregate.
+
+        Accepts any result object exposing ``logical_bytes``,
+        ``stored_chunk_bytes`` and ``breakdown`` (all systems here do).
+        """
+        self.logical_bytes += result.logical_bytes
+        self.stored_chunk_bytes += result.stored_chunk_bytes
+        self.elapsed_seconds += result.breakdown.elapsed_pipelined()
+        self.breakdown = self.breakdown.merged_with(result.breakdown)
+        if hasattr(result, "counters"):
+            self.counters = self.counters.merged_with(result.counters)
+
+
+@dataclass
+class BackupSeries:
+    """Per-version statistics for one system over one dataset."""
+
+    system_name: str
+    versions: list[VersionStats] = field(default_factory=list)
+
+    def throughputs(self) -> list[float]:
+        """Per-version throughput series (MB/s)."""
+        return [stats.throughput_mb_s for stats in self.versions]
+
+    def dedup_ratios(self) -> list[float]:
+        """Per-version deduplication ratio series."""
+        return [stats.dedup_ratio for stats in self.versions]
+
+    def total_logical_bytes(self) -> int:
+        """Logical bytes processed across all versions."""
+        return sum(stats.logical_bytes for stats in self.versions)
+
+    def mean_throughput(self, skip_first: bool = True) -> float:
+        """Average throughput (version 0 excluded by default: it has no
+        history to deduplicate against)."""
+        values = self.throughputs()[1 if skip_first else 0 :]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+def run_backup_series(
+    system_name: str,
+    backup: Callable[[str, bytes], object],
+    dataset_versions: Iterable[DatasetVersion],
+) -> BackupSeries:
+    """Back up every version of a dataset through ``backup(path, data)``."""
+    series = BackupSeries(system_name)
+    for dataset_version in dataset_versions:
+        stats = VersionStats(dataset_version.version)
+        for item in dataset_version.files:
+            stats.absorb(backup(item.path, item.data))
+        series.versions.append(stats)
+    return series
+
+
+def run_slimstore_series(
+    store: SlimStore,
+    dataset_versions: Iterable[DatasetVersion],
+    run_gnode: bool = True,
+) -> BackupSeries:
+    """Back up a dataset through a SlimStore deployment."""
+    return run_backup_series(
+        "SLIMSTORE",
+        lambda path, data: store.backup(path, data, run_gnode=run_gnode).result,
+        dataset_versions,
+    )

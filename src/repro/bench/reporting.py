@@ -1,0 +1,53 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print tables and series shaped like the paper's, so the
+regenerated results can be compared against the published ones at a
+glance (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """An aligned monospace table with a title rule."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.1f}",
+) -> str:
+    """A figure rendered as one row per x value, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: list[object] = [x_value]
+        for values in series.values():
+            row.append(
+                value_format.format(values[index]) if index < len(values) else "-"
+            )
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

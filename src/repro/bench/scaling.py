@@ -1,0 +1,95 @@
+"""Cluster-scaling arithmetic for Fig 10 and Table II.
+
+The paper's scalability results follow from three structural facts, all of
+which the cost model parameterises:
+
+* a SLIMSTORE job is independent of every other job (stateless L-nodes,
+  no shared index), so jobs scale linearly until node job slots or the
+  node NIC saturate, and additional L-nodes extend the line;
+* a restic job must hold the repository lock for its index work, so the
+  aggregate caps at ``job_bytes / serial_seconds`` no matter how many jobs
+  run (Amdahl over the locked section);
+* restore jobs scale the same way, with the per-node limit set by NIC
+  bandwidth ("each L-node can execute up to eight restore jobs").
+"""
+
+from __future__ import annotations
+
+from repro.sim.cost_model import CostModel
+
+_MB = float(1 << 20)
+
+
+def slimstore_backup_scaling(
+    job_logical_bytes: float,
+    job_elapsed_seconds: float,
+    job_uploaded_bytes: float,
+    jobs: int,
+    lnode_count: int,
+    cost_model: CostModel | None = None,
+) -> float:
+    """Aggregate backup throughput (MB/s) for ``jobs`` concurrent jobs.
+
+    Jobs spread over L-nodes; each node runs at most
+    ``node_backup_slots`` jobs in parallel (excess queues in waves) and its
+    uplink bounds the combined container upload streams.
+    """
+    if jobs < 1 or job_elapsed_seconds <= 0:
+        return 0.0
+    model = cost_model or CostModel()
+    nodes_used = min(lnode_count, max(1, -(-jobs // model.node_backup_slots)))
+    jobs_per_node = -(-jobs // nodes_used)
+    waves = -(-jobs_per_node // model.node_backup_slots)
+    elapsed = job_elapsed_seconds * waves
+
+    # NIC ceiling: concurrent jobs of one node share its uplink.
+    concurrent = min(jobs_per_node, model.node_backup_slots)
+    upload_rate_needed = concurrent * job_uploaded_bytes / job_elapsed_seconds
+    if upload_rate_needed > model.node_nic_bandwidth:
+        elapsed *= upload_rate_needed / model.node_nic_bandwidth
+
+    return jobs * job_logical_bytes / elapsed / _MB
+
+
+def slimstore_restore_scaling(
+    job_logical_bytes: float,
+    job_elapsed_seconds: float,
+    job_downloaded_bytes: float,
+    jobs: int,
+    lnode_count: int,
+    cost_model: CostModel | None = None,
+) -> float:
+    """Aggregate restore throughput (MB/s) for ``jobs`` concurrent jobs."""
+    if jobs < 1 or job_elapsed_seconds <= 0:
+        return 0.0
+    model = cost_model or CostModel()
+    nodes_used = min(lnode_count, max(1, -(-jobs // model.node_restore_slots)))
+    jobs_per_node = -(-jobs // nodes_used)
+    waves = -(-jobs_per_node // model.node_restore_slots)
+    elapsed = job_elapsed_seconds * waves
+
+    concurrent = min(jobs_per_node, model.node_restore_slots)
+    download_rate_needed = concurrent * job_downloaded_bytes / job_elapsed_seconds
+    if download_rate_needed > model.node_nic_bandwidth:
+        elapsed *= download_rate_needed / model.node_nic_bandwidth
+
+    return jobs * job_logical_bytes / elapsed / _MB
+
+
+def restic_aggregate_throughput(
+    job_logical_bytes: float,
+    job_elapsed_seconds: float,
+    job_serial_seconds: float,
+    jobs: int,
+) -> float:
+    """Aggregate restic throughput (MB/s) for ``jobs`` concurrent jobs.
+
+    Every job's locked index section serialises behind every other job's,
+    so the system-wide duration is ``max(parallel part, jobs x serial)`` —
+    throughput flat-lines at ``job_bytes / serial_seconds``.
+    """
+    if jobs < 1 or job_elapsed_seconds <= 0:
+        return 0.0
+    serial_total = jobs * job_serial_seconds
+    elapsed = max(job_elapsed_seconds, serial_total)
+    return jobs * job_logical_bytes / elapsed / _MB

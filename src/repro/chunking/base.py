@@ -1,0 +1,184 @@
+"""Chunker contracts and the precomputed boundary set.
+
+A chunker turns a byte buffer into content-defined cut points.  The API is
+incremental — ``next_cut(start)`` / ``is_cut(start, end)`` — because the
+dedup engine interleaves normal CDC with history-aware skip chunking, which
+jumps ahead and only *verifies* that the landing position satisfies the cut
+condition (Section IV-B of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChunkingError
+
+
+@dataclass(frozen=True)
+class ChunkerParams:
+    """Min/average/max chunk size bounds shared by all CDC algorithms."""
+
+    min_size: int = 1024
+    avg_size: int = 4096
+    max_size: int = 32768
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_size <= self.avg_size <= self.max_size:
+            raise ChunkingError(
+                f"invalid chunk sizes: min={self.min_size} "
+                f"avg={self.avg_size} max={self.max_size}"
+            )
+        if self.avg_size & (self.avg_size - 1):
+            raise ChunkingError(f"avg_size must be a power of two: {self.avg_size}")
+
+    def scaled(self, avg_size: int) -> "ChunkerParams":
+        """The same shape (min=avg/4, max=avg*8) at a different average."""
+        return ChunkerParams(
+            min_size=max(64, avg_size // 4),
+            avg_size=avg_size,
+            max_size=avg_size * 8,
+        )
+
+
+@dataclass(frozen=True)
+class RawChunk:
+    """One cut chunk: its position in the stream and its payload view."""
+
+    start: int
+    end: int
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        """Chunk length in bytes."""
+        return self.end - self.start
+
+
+class BoundarySet:
+    """Hash-condition positions for one buffer, cut-point queries on top.
+
+    ``positions`` are stream offsets ``p`` where the rolling hash of the
+    window ending at ``p`` satisfies the (permissive) cut condition;
+    ``strict`` marks the subset that also satisfies the strict condition
+    (FastCDC's small mask).  For single-mask algorithms both sets coincide.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        params: ChunkerParams,
+        positions: np.ndarray,
+        strict_positions: np.ndarray | None = None,
+    ) -> None:
+        self.length = length
+        self.params = params
+        self._positions = np.asarray(positions, dtype=np.int64)
+        self._strict = (
+            self._positions
+            if strict_positions is None
+            else np.asarray(strict_positions, dtype=np.int64)
+        )
+        self._strict_set = set(int(p) for p in self._strict)
+        self._permissive_set = set(int(p) for p in self._positions)
+
+    def next_cut(self, start: int) -> int:
+        """The CDC cut position for a chunk starting at ``start``.
+
+        Semantics follow FastCDC's normalized chunking: look for a strict
+        (small-mask) boundary in ``(start+min, start+avg]``, then a
+        permissive (large-mask) boundary in ``(start+avg, start+max)``,
+        else cut at ``start+max``.  End of buffer is always a boundary.
+        For single-mask chunkers the two phases collapse into "first
+        boundary in ``(start+min, start+max)``".
+        """
+        if start < 0 or start >= self.length:
+            raise ChunkingError(f"cut start {start} outside buffer of {self.length}")
+        min_pos = start + self.params.min_size
+        avg_pos = start + self.params.avg_size
+        max_pos = start + self.params.max_size
+        if min_pos >= self.length:
+            return self.length
+
+        candidate = self._first_in(self._strict, min_pos, min(avg_pos, self.length))
+        if candidate is None:
+            candidate = self._first_in(
+                self._positions, min(avg_pos, self.length), min(max_pos, self.length)
+            )
+        if candidate is not None:
+            return candidate
+        return min(max_pos, self.length)
+
+    def is_cut(self, start: int, end: int) -> bool:
+        """Whether ``[start, end)`` is an admissible chunk ending on a cut.
+
+        This is the skip-chunking probe: "if the position after skipping
+        meets the cut condition, the skip chunking is successful".  The end
+        of the buffer is always admissible (a final partial chunk).
+        """
+        size = end - start
+        if size <= 0 or size > self.params.max_size:
+            return False
+        if end == self.length:
+            return True
+        if size < self.params.min_size:
+            return False
+        if size == self.params.max_size:
+            return True
+        if size <= self.params.avg_size:
+            return end in self._strict_set
+        return end in self._permissive_set
+
+    def _first_in(self, positions: np.ndarray, lo: int, hi: int) -> int | None:
+        """Smallest position ``p`` with ``lo < p <= hi``, or None."""
+        index = bisect_left(positions, lo + 1)
+        if index < len(positions) and positions[index] <= hi:
+            return int(positions[index])
+        return None
+
+
+class Chunker(ABC):
+    """A content-defined (or fixed) chunking algorithm."""
+
+    #: Cost-model algorithm key ("rabin", "gear", "fastcdc", "fixed").
+    name: str = "abstract"
+
+    def __init__(self, params: ChunkerParams | None = None) -> None:
+        self.params = params or ChunkerParams()
+
+    @abstractmethod
+    def boundaries(self, data: bytes) -> BoundarySet:
+        """Precompute every hash-condition position in ``data``."""
+
+    def chunk(self, data: bytes) -> list[RawChunk]:
+        """Cut ``data`` into chunks by repeatedly applying ``next_cut``."""
+        boundary_set = self.boundaries(data)
+        chunks: list[RawChunk] = []
+        start = 0
+        while start < len(data):
+            end = boundary_set.next_cut(start)
+            chunks.append(RawChunk(start, end, bytes(data[start:end])))
+            start = end
+        return chunks
+
+
+def make_chunker(name: str, params: ChunkerParams | None = None) -> Chunker:
+    """Factory mapping config strings to chunker instances."""
+    from repro.chunking.fastcdc import FastCDCChunker
+    from repro.chunking.fixed import FixedChunker
+    from repro.chunking.gear import GearChunker
+    from repro.chunking.rabin import RabinChunker
+
+    registry = {
+        "rabin": RabinChunker,
+        "gear": GearChunker,
+        "fastcdc": FastCDCChunker,
+        "fixed": FixedChunker,
+    }
+    cls = registry.get(name)
+    if cls is None:
+        raise ChunkingError(f"unknown chunker: {name!r} (choose from {sorted(registry)})")
+    return cls(params)

@@ -1,0 +1,46 @@
+"""FastCDC: gear hashing with normalized chunking.
+
+FastCDC (Xia et al., ATC'16) accelerates CDC two ways: the cheap gear hash,
+and *normalized chunking* — a strict mask (more condition bits) before the
+average size and a permissive mask (fewer bits) after it, which squeezes
+the chunk-size distribution toward the average and lets the scan skip the
+min-size region entirely.  The strict/permissive pair maps directly onto
+:class:`~repro.chunking.base.BoundarySet`'s two candidate sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chunking.base import BoundarySet, Chunker, ChunkerParams
+from repro.chunking.gear import WINDOW, gear_hash_positions, top_bits_mask
+
+#: Normalization level: strict mask has +NC bits, permissive has -NC bits.
+NORMALIZATION = 2
+
+
+class FastCDCChunker(Chunker):
+    """FastCDC with two-level normalized chunking."""
+
+    name = "fastcdc"
+
+    def __init__(self, params: ChunkerParams | None = None) -> None:
+        super().__init__(params)
+        if self.params.min_size <= WINDOW:
+            raise ValueError(
+                f"min chunk size {self.params.min_size} must exceed the "
+                f"{WINDOW}-byte gear window"
+            )
+        avg_bits = self.params.avg_size.bit_length() - 1
+        strict_bits = min(avg_bits + NORMALIZATION, 31)
+        permissive_bits = max(avg_bits - NORMALIZATION, 1)
+        self._strict_mask = top_bits_mask(strict_bits)
+        self._permissive_mask = top_bits_mask(permissive_bits)
+
+    def boundaries(self, data: bytes) -> BoundarySet:
+        hashes = gear_hash_positions(data)
+        permissive_hits = np.nonzero((hashes & self._permissive_mask) == 0)[0]
+        permissive = permissive_hits.astype(np.int64) + WINDOW
+        strict_hits = np.nonzero((hashes & self._strict_mask) == 0)[0]
+        strict = strict_hits.astype(np.int64) + WINDOW
+        return BoundarySet(len(data), self.params, permissive, strict)

@@ -1,0 +1,30 @@
+"""Fixed-size chunking.
+
+The simplest baseline: cut every ``size`` bytes.  It suffers from the
+boundary-shift problem (one inserted byte re-aligns every later chunk),
+which is exactly why the deduplication-ratio experiments need it as a
+contrast to CDC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chunking.base import BoundarySet, Chunker, ChunkerParams
+
+
+class FixedChunker(Chunker):
+    """Cuts the stream at fixed multiples of the configured size."""
+
+    name = "fixed"
+
+    def __init__(self, params: ChunkerParams | None = None) -> None:
+        params = params or ChunkerParams()
+        size = params.avg_size
+        # Fixed chunking admits exactly one size; collapse the bounds.
+        super().__init__(ChunkerParams(size, size, size))
+
+    def boundaries(self, data: bytes) -> BoundarySet:
+        # No hash condition: next_cut falls through to start+max, which is
+        # exactly the fixed-size semantics, and EOF stays admissible.
+        return BoundarySet(len(data), self.params, np.empty(0, dtype=np.int64))

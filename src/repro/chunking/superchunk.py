@@ -1,0 +1,97 @@
+"""History-aware chunk merging policy (Section IV-C).
+
+Chunks that keep being duplicates version after version sit in data that
+rarely changes, so they can be merged into *superchunks* — large chunks
+that are matched wholesale by Algorithm 1 (SuperChunking) in later backups.
+The policy below decides which runs of records qualify; the dedup engine
+owns the mechanics (re-cutting bytes, writing the merged payload, recipe
+records with the ``firstChunk`` attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class MergeCandidate(Protocol):
+    """What the policy needs to know about one emitted chunk record."""
+
+    size: int
+    duplicate_times: int
+    is_superchunk: bool
+    is_duplicate: bool
+
+
+@dataclass(frozen=True)
+class MergePolicy:
+    """Tunables of history-aware chunk merging.
+
+    ``threshold`` is the paper's merge trigger: a chunk joins a superchunk
+    once its ``duplicateTimes`` reaches this value (default 5, the setting
+    used in Fig 7).  Superchunk sizes are bounded to the 256 KB – 2 MB band
+    the paper quotes for the restic comparison.
+    """
+
+    enabled: bool = True
+    threshold: int = 5
+    min_superchunk_bytes: int = 256 * 1024
+    max_superchunk_bytes: int = 2 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"merge threshold must be >= 1: {self.threshold}")
+        if not 0 < self.min_superchunk_bytes <= self.max_superchunk_bytes:
+            raise ValueError(
+                f"invalid superchunk size band: "
+                f"[{self.min_superchunk_bytes}, {self.max_superchunk_bytes}]"
+            )
+
+    def record_qualifies(self, record: MergeCandidate) -> bool:
+        """A plain duplicate chunk whose duplicate run is long enough."""
+        return (
+            self.enabled
+            and record.is_duplicate
+            and not record.is_superchunk
+            and record.duplicate_times >= self.threshold
+        )
+
+    def plan_merge_runs(self, records: list[MergeCandidate]) -> list[tuple[int, int]]:
+        """Index ranges ``[i, j)`` of records to merge into superchunks.
+
+        Maximal runs of qualifying records are located, then each run is
+        split so every resulting superchunk fits the size band; remainders
+        below ``min_superchunk_bytes`` stay as plain chunks.
+        """
+        if not self.enabled:
+            return []
+        runs: list[tuple[int, int]] = []
+        index = 0
+        while index < len(records):
+            if not self.record_qualifies(records[index]):
+                index += 1
+                continue
+            run_end = index
+            while run_end < len(records) and self.record_qualifies(records[run_end]):
+                run_end += 1
+            runs.extend(self._split_run(records, index, run_end))
+            index = run_end
+        return runs
+
+    def _split_run(
+        self, records: list[MergeCandidate], start: int, end: int
+    ) -> list[tuple[int, int]]:
+        pieces: list[tuple[int, int]] = []
+        piece_start = start
+        piece_bytes = 0
+        for position in range(start, end):
+            size = records[position].size
+            if piece_bytes and piece_bytes + size > self.max_superchunk_bytes:
+                if piece_bytes >= self.min_superchunk_bytes:
+                    pieces.append((piece_start, position))
+                piece_start = position
+                piece_bytes = 0
+            piece_bytes += size
+        if piece_bytes >= self.min_superchunk_bytes and piece_start < end:
+            pieces.append((piece_start, end))
+        return pieces

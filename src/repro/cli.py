@@ -1,0 +1,183 @@
+"""Command-line interface: a durable SLIMSTORE repository on local disk.
+
+The repository is a directory holding the simulated OSS buckets as files
+(one subdirectory per bucket), so backups survive process restarts —
+``SlimStore.recover()`` reattaches every stateful component.
+
+Usage::
+
+    python -m repro backup  REPO FILE [FILE...]   [--prefix P]
+    python -m repro restore REPO PATH             [--version N] [--output F]
+    python -m repro versions REPO [PATH]
+    python -m repro delete  REPO PATH VERSION
+    python -m repro space   REPO
+
+Example::
+
+    python -m repro backup  /tmp/repo data/accounts.tbl
+    python -m repro versions /tmp/repo
+    python -m repro restore /tmp/repo data/accounts.tbl --output out.tbl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import SlimStoreConfig
+from repro.core.system import SlimStore
+from repro.errors import ReproError
+from repro.oss.backend import FilesystemBackend
+from repro.oss.object_store import ObjectStorageService
+
+
+def open_repository(repo_dir: str | Path) -> SlimStore:
+    """Open (or create) a durable repository under ``repo_dir``."""
+    root = Path(repo_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    oss = ObjectStorageService(
+        backend_factory=lambda bucket: FilesystemBackend(root / bucket)
+    )
+    store = SlimStore(SlimStoreConfig(), oss)
+    store.recover()
+    return store
+
+
+def _cmd_backup(args: argparse.Namespace) -> int:
+    store = open_repository(args.repo)
+    for file_name in args.files:
+        source = Path(file_name)
+        if not source.is_file():
+            print(f"error: not a file: {source}", file=sys.stderr)
+            return 2
+        logical_path = f"{args.prefix}{source.name}" if args.prefix else str(source)
+        report = store.backup(logical_path, source.read_bytes())
+        result = report.result
+        print(
+            f"{logical_path}: v{report.version}, "
+            f"{result.logical_bytes} bytes, dedup {result.dedup_ratio:.1%}, "
+            f"{result.counters.get('containers_written')} containers"
+        )
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    store = open_repository(args.repo)
+    result = store.restore(args.path, args.version)
+    output = Path(args.output) if args.output else Path(Path(args.path).name)
+    output.write_bytes(result.data)
+    print(
+        f"restored {args.path}@v{result.version} -> {output} "
+        f"({len(result.data)} bytes, {result.containers_read} container reads)"
+    )
+    return 0
+
+
+def _cmd_versions(args: argparse.Namespace) -> int:
+    store = open_repository(args.repo)
+    paths = [args.path] if args.path else store.catalog.paths()
+    for path in paths:
+        live = store.versions(path)
+        if live:
+            print(f"{path}: versions {', '.join(map(str, live))}")
+    return 0
+
+
+def _cmd_delete(args: argparse.Namespace) -> int:
+    store = open_repository(args.repo)
+    reclaimed = store.delete_version(args.path, args.version)
+    print(f"deleted {args.path}@v{args.version}, reclaimed {reclaimed} bytes")
+    return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    store = open_repository(args.repo)
+    report = store.scrub()
+    print(
+        f"containers: {report.containers_checked} checked, "
+        f"{report.chunks_verified} chunks verified, "
+        f"{len(report.corrupt_chunks)} corrupt"
+    )
+    print(
+        f"recipes: {report.recipes_checked} checked, "
+        f"{report.records_verified} records verified "
+        f"({report.redirected_records} via global-index redirect), "
+        f"{len(report.unresolvable_records)} unresolvable"
+    )
+    if report.clean:
+        print("repository is clean")
+        return 0
+    for cid, fp in report.corrupt_chunks:
+        print(f"  CORRUPT chunk {fp.hex()[:12]} in container {cid}", file=sys.stderr)
+    for path, version, fp in report.unresolvable_records:
+        print(f"  DANGLING {path}@v{version} chunk {fp.hex()[:12]}", file=sys.stderr)
+    return 1
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    store = open_repository(args.repo)
+    report = store.space_report()
+    print(f"containers:    {report.container_bytes:>12} bytes")
+    print(f"recipes:       {report.recipe_bytes:>12} bytes")
+    print(f"global index:  {report.global_index_bytes:>12} bytes")
+    print(f"similar index: {report.similar_index_bytes:>12} bytes")
+    print(f"total:         {report.total_bytes:>12} bytes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLIMSTORE: deduplicating multi-version backups",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    backup = commands.add_parser("backup", help="back up files as new versions")
+    backup.add_argument("repo", help="repository directory")
+    backup.add_argument("files", nargs="+", help="files to back up")
+    backup.add_argument("--prefix", default="", help="logical path prefix")
+    backup.set_defaults(handler=_cmd_backup)
+
+    restore = commands.add_parser("restore", help="restore a backup version")
+    restore.add_argument("repo")
+    restore.add_argument("path", help="logical path of the backup")
+    restore.add_argument("--version", type=int, default=None,
+                         help="version number (default: latest)")
+    restore.add_argument("--output", default=None, help="output file")
+    restore.set_defaults(handler=_cmd_restore)
+
+    versions = commands.add_parser("versions", help="list live versions")
+    versions.add_argument("repo")
+    versions.add_argument("path", nargs="?", default=None)
+    versions.set_defaults(handler=_cmd_versions)
+
+    delete = commands.add_parser("delete", help="collect the oldest version")
+    delete.add_argument("repo")
+    delete.add_argument("path")
+    delete.add_argument("version", type=int)
+    delete.set_defaults(handler=_cmd_delete)
+
+    space = commands.add_parser("space", help="show repository space usage")
+    space.add_argument("repo")
+    space.set_defaults(handler=_cmd_space)
+
+    scrub = commands.add_parser("scrub", help="verify repository integrity")
+    scrub.add_argument("repo")
+    scrub.set_defaults(handler=_cmd_scrub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""The SLIMSTORE system: storage layer, L-node services, G-node services.
+
+Public entry point is :class:`~repro.core.system.SlimStore`, which wires the
+OSS-resident storage layer (container store, recipe store, similar-file
+index, global index) to stateless L-nodes for online backup/restore and a
+G-node for offline space optimisation.
+"""
+
+from repro.core.config import SlimStoreConfig
+from repro.core.container import ChunkLocation, ContainerMeta, ContainerStore
+from repro.core.recipe import ChunkRecord, Recipe, RecipeIndex, RecipeStore
+from repro.core.similar_index import SimilarFileIndex
+from repro.core.global_index import GlobalIndex
+from repro.core.dedup import BackupEngine, BackupResult
+from repro.core.restore import RestoreEngine, RestoreResult
+from repro.core.lnode import LNode
+from repro.core.gnode import GNode
+from repro.core.cluster import ClusterSimulator, JobSpec
+from repro.core.scrub import RepositoryScrubber, ScrubReport
+from repro.core.snapshot import Snapshot, SnapshotStore
+from repro.core.tenancy import BackupService, TenantUsage
+from repro.core.system import BackupReport, RestoreReport, SlimStore, SpaceReport
+
+__all__ = [
+    "SlimStoreConfig",
+    "ChunkLocation",
+    "ContainerMeta",
+    "ContainerStore",
+    "ChunkRecord",
+    "Recipe",
+    "RecipeIndex",
+    "RecipeStore",
+    "SimilarFileIndex",
+    "GlobalIndex",
+    "BackupEngine",
+    "BackupResult",
+    "RestoreEngine",
+    "RestoreResult",
+    "LNode",
+    "GNode",
+    "ClusterSimulator",
+    "JobSpec",
+    "RepositoryScrubber",
+    "ScrubReport",
+    "Snapshot",
+    "SnapshotStore",
+    "BackupService",
+    "TenantUsage",
+    "SlimStore",
+    "BackupReport",
+    "RestoreReport",
+    "SpaceReport",
+]

@@ -1,0 +1,139 @@
+"""Every SLIMSTORE tunable in one frozen dataclass.
+
+Defaults follow the paper's evaluation setup: 4 KB average chunks cut by
+FastCDC, history-aware skip chunking and chunk merging enabled with a merge
+threshold of 5 (Fig 7), a 30% sparse-container utilisation threshold and a
+20% container rewrite threshold (Sections V-B, VI-A), and six prefetch
+threads (Table II).  Sizes are scaled down from production values so the
+simulation runs comfortably on one machine; every experiment states its own
+overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.chunking.base import ChunkerParams
+from repro.chunking.superchunk import MergePolicy
+
+
+@dataclass(frozen=True)
+class SlimStoreConfig:
+    """Configuration of one SLIMSTORE deployment."""
+
+    # --- chunking ----------------------------------------------------------
+    #: CDC algorithm on the L-node: "fastcdc", "rabin", "gear" or "fixed".
+    chunker: str = "fastcdc"
+    #: Average chunk size in bytes (min/max derived as avg/4 and avg*8).
+    chunk_avg_size: int = 4096
+    #: History-aware skip chunking (Section IV-B).
+    skip_chunking: bool = True
+    #: History-aware chunk merging / SuperChunking (Section IV-C).
+    chunk_merging: bool = True
+    #: duplicateTimes threshold that triggers merging.
+    merge_threshold: int = 5
+    #: Superchunk size band.
+    min_superchunk_bytes: int = 64 * 1024
+    max_superchunk_bytes: int = 512 * 1024
+
+    # --- segmenting & sampling ----------------------------------------------
+    #: Logical bytes per segment (a segment recipe is the prefetch unit).
+    segment_bytes: int = 128 * 1024
+    #: mod-R sampling ratio for recipe-index samples.
+    sample_ratio: int = 16
+    #: Consecutive segment recipes fetched per prefetch request (they are
+    #: contiguous in the recipe object, so a span is one ranged GET).
+    prefetch_segment_span: int = 4
+    #: mod-R ratio for the similar-file index (coarser than segments).
+    similarity_sample_ratio: int = 32
+    #: Bytes of file header chunked to find a similar file when the name
+    #: lookup fails (Section IV-A, step 1).
+    header_probe_bytes: int = 256 * 1024
+    #: Cap on representative fingerprints stored per file.
+    max_file_representatives: int = 256
+
+    # --- containers -----------------------------------------------------------
+    #: Container payload capacity in bytes.
+    container_bytes: int = 512 * 1024
+
+    # --- restore ----------------------------------------------------------------
+    #: Look-ahead window length in chunk records.
+    law_window_records: int = 512
+    #: In-memory restore cache capacity (bytes of chunk payload).
+    restore_cache_bytes: int = 8 * 1024 * 1024
+    #: On-disk (L-node local) second cache layer capacity.
+    restore_disk_cache_bytes: int = 64 * 1024 * 1024
+    #: Parallel OSS prefetch channels (0 disables prefetching).
+    prefetch_threads: int = 6
+    #: Verify each restored chunk against its fingerprint.
+    verify_restore: bool = True
+
+    # --- G-node ------------------------------------------------------------------
+    #: Exact (reverse) deduplication offline.
+    reverse_dedup: bool = True
+    #: Sparse container compaction offline.
+    sparse_compaction: bool = True
+    #: Container utilisation below this is "sparse" (paper: e.g. 30%).
+    sparse_utilization_threshold: float = 0.30
+    #: Rewrite a container once this fraction of chunks is deleted.
+    container_rewrite_threshold: float = 0.20
+    #: Use the global Bloom prefilter during reverse dedup.
+    gdedup_bloom_filter: bool = True
+    #: Cache old-container metadata during reverse dedup.
+    gdedup_meta_cache: bool = True
+    #: Expected chunk population for the global Bloom filter.
+    global_bloom_capacity: int = 1 << 20
+
+    # --- cluster --------------------------------------------------------------------
+    #: Number of L-nodes available (paper: six ECS instances).
+    lnode_count: int = 6
+
+    def __post_init__(self) -> None:
+        if self.chunk_avg_size & (self.chunk_avg_size - 1):
+            raise ValueError(f"chunk_avg_size must be a power of two: {self.chunk_avg_size}")
+        if self.segment_bytes < self.chunk_avg_size:
+            raise ValueError("segment_bytes must be at least one average chunk")
+        if self.container_bytes < self.chunk_avg_size:
+            raise ValueError("container_bytes must hold at least one average chunk")
+        if not 0.0 < self.sparse_utilization_threshold < 1.0:
+            raise ValueError("sparse_utilization_threshold must be in (0, 1)")
+        if not 0.0 < self.container_rewrite_threshold < 1.0:
+            raise ValueError("container_rewrite_threshold must be in (0, 1)")
+        if self.lnode_count < 1:
+            raise ValueError("need at least one L-node")
+        if self.prefetch_threads < 0:
+            raise ValueError("prefetch_threads cannot be negative")
+
+    # --- derived views ---------------------------------------------------------------
+    def effective_sample_ratio(self) -> int:
+        """mod-R ratio adjusted so each segment keeps a few samples.
+
+        The paper samples "in a segment" with an adjustable R; when chunks
+        grow (larger ``chunk_avg_size``), a fixed R would leave most
+        segments without any sample, so R shrinks to keep roughly four
+        samples per segment.
+        """
+        chunks_per_segment = max(1, self.segment_bytes // self.chunk_avg_size)
+        return max(1, min(self.sample_ratio, chunks_per_segment // 4))
+
+    def chunker_params(self) -> ChunkerParams:
+        """Min/avg/max chunk bounds derived from the configured average."""
+        return ChunkerParams(
+            min_size=max(64, self.chunk_avg_size // 4),
+            avg_size=self.chunk_avg_size,
+            max_size=self.chunk_avg_size * 8,
+        )
+
+    def merge_policy(self) -> MergePolicy:
+        """The history-aware chunk merging policy."""
+        return MergePolicy(
+            enabled=self.chunk_merging,
+            threshold=self.merge_threshold,
+            min_superchunk_bytes=self.min_superchunk_bytes,
+            max_superchunk_bytes=self.max_superchunk_bytes,
+        )
+
+    def with_overrides(self, **overrides: Any) -> "SlimStoreConfig":
+        """A copy with the given fields replaced (frozen-dataclass update)."""
+        return replace(self, **overrides)

@@ -1,0 +1,375 @@
+"""Containers: the unit of backup storage and OSS access.
+
+"A common solution is to treat the container as the basic storage and
+access unit of backup data.  While duplicate chunks are eliminated, the
+remaining non-duplicate chunks will be aggregated into fixed-size
+containers and persisted on OSS.  The container store also retains the
+metadata of each container, which keeps each chunk's status and offset,
+and the proportion of stale chunks" (Section III-B).
+
+A container is two OSS objects: an immutable ``.data`` blob and a small
+``.meta`` object that can be updated independently — reverse deduplication
+only marks chunks deleted in the metadata until the stale fraction crosses
+the rewrite threshold (Section VI-A).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import ContainerError, ObjectNotFoundError
+from repro.fingerprint.hashing import FP_SIZE
+from repro.oss.object_store import ObjectStorageService
+
+_META_HEADER = struct.Struct(">QI")          # container id, entry count
+_META_ENTRY = struct.Struct(">20sQIB")       # fp, offset, size, flags
+_FLAG_DELETED = 1
+_FLAG_ALIAS = 2
+
+
+@dataclass
+class ChunkLocation:
+    """Placement of one chunk inside a container.
+
+    ``alias`` entries are secondary lookup keys into bytes owned by another
+    entry (a superchunk's first chunk); they are excluded from size and
+    utilisation accounting.
+    """
+
+    fp: bytes
+    offset: int
+    size: int
+    deleted: bool = False
+    alias: bool = False
+
+
+@dataclass
+class ContainerMeta:
+    """Metadata of one container: every chunk's status and offset."""
+
+    container_id: int
+    entries: list[ChunkLocation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_fp: dict[bytes, ChunkLocation] = {}
+        for entry in self.entries:
+            self._by_fp.setdefault(entry.fp, entry)
+
+    def add(self, entry: ChunkLocation) -> None:
+        """Append an entry (first entry per fingerprint wins lookups)."""
+        self.entries.append(entry)
+        self._by_fp.setdefault(entry.fp, entry)
+
+    def find(self, fp: bytes) -> ChunkLocation | None:
+        """The entry for ``fp`` or None."""
+        return self._by_fp.get(fp)
+
+    # --- accounting -------------------------------------------------------
+    def primary_entries(self) -> list[ChunkLocation]:
+        """Entries that own bytes (aliases excluded)."""
+        return [entry for entry in self.entries if not entry.alias]
+
+    def live_entries(self) -> list[ChunkLocation]:
+        """Primary entries not marked deleted."""
+        return [e for e in self.entries if not e.alias and not e.deleted]
+
+    def total_chunks(self) -> int:
+        """Number of byte-owning chunks ever stored."""
+        return len(self.primary_entries())
+
+    def live_chunks(self) -> int:
+        """Byte-owning chunks not marked deleted."""
+        return len(self.live_entries())
+
+    def live_bytes(self) -> int:
+        """Payload bytes still referenced (deleted chunks excluded)."""
+        return sum(entry.size for entry in self.live_entries())
+
+    def stale_fraction(self) -> float:
+        """Fraction of byte-owning chunks marked deleted."""
+        total = self.total_chunks()
+        if total == 0:
+            return 0.0
+        return 1.0 - self.live_chunks() / total
+
+    def mark_deleted(self, fp: bytes) -> bool:
+        """Mark the chunk ``fp`` deleted; True if it was live.
+
+        Alias entries (a superchunk's firstChunk) are independent for
+        deletion: deleting the superchunk leaves a live alias, whose bytes
+        :meth:`ContainerStore.rewrite` preserves by materialising the alias
+        as a chunk of its own.
+        """
+        entry = self._by_fp.get(fp)
+        if entry is None or entry.deleted:
+            return False
+        entry.deleted = True
+        return True
+
+    def live_lookup_entries(self) -> list[ChunkLocation]:
+        """All non-deleted entries, aliases included (restore-visible)."""
+        return [entry for entry in self.entries if not entry.deleted]
+
+    @staticmethod
+    def _overlaps(owner: ChunkLocation, alias: ChunkLocation) -> bool:
+        return owner.offset <= alias.offset < owner.offset + owner.size
+
+    # --- serialisation ------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        blob = bytearray(_META_HEADER.pack(self.container_id, len(self.entries)))
+        for entry in self.entries:
+            if len(entry.fp) != FP_SIZE:
+                raise ContainerError(f"bad fingerprint length: {len(entry.fp)}")
+            flags = (_FLAG_DELETED if entry.deleted else 0) | (
+                _FLAG_ALIAS if entry.alias else 0
+            )
+            blob += _META_ENTRY.pack(entry.fp, entry.offset, entry.size, flags)
+        return bytes(blob)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "ContainerMeta":
+        container_id, count = _META_HEADER.unpack_from(payload, 0)
+        entries: list[ChunkLocation] = []
+        offset = _META_HEADER.size
+        for _ in range(count):
+            fp, chunk_offset, size, flags = _META_ENTRY.unpack_from(payload, offset)
+            offset += _META_ENTRY.size
+            entries.append(
+                ChunkLocation(
+                    fp=fp,
+                    offset=chunk_offset,
+                    size=size,
+                    deleted=bool(flags & _FLAG_DELETED),
+                    alias=bool(flags & _FLAG_ALIAS),
+                )
+            )
+        return cls(container_id=container_id, entries=entries)
+
+
+class ContainerBuilder:
+    """Accumulates chunks for one in-flight container."""
+
+    def __init__(self, container_id: int, capacity_bytes: int) -> None:
+        self.container_id = container_id
+        self.capacity_bytes = capacity_bytes
+        self.meta = ContainerMeta(container_id)
+        self._data = bytearray()
+
+    def add_chunk(self, fp: bytes, data: bytes) -> ChunkLocation:
+        """Append chunk payload; returns its location entry."""
+        entry = ChunkLocation(fp=fp, offset=len(self._data), size=len(data))
+        self.meta.add(entry)
+        self._data += data
+        return entry
+
+    def add_alias(self, fp: bytes, offset: int, size: int) -> None:
+        """Register a secondary lookup key into already-appended bytes."""
+        if offset + size > len(self._data):
+            raise ContainerError("alias range outside container payload")
+        self.meta.add(ChunkLocation(fp=fp, offset=offset, size=size, alias=True))
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes accumulated so far."""
+        return len(self._data)
+
+    def is_full(self) -> bool:
+        """True once the payload reaches the container capacity."""
+        return len(self._data) >= self.capacity_bytes
+
+    def is_empty(self) -> bool:
+        """True if no chunk has been added yet."""
+        return not self._data
+
+    def payload(self) -> bytes:
+        """The container payload as immutable bytes."""
+        return bytes(self._data)
+
+
+class ContainerStore:
+    """The container half of the storage layer, resident on OSS."""
+
+    DATA_KEY = "containers/{cid:012d}.data"
+    META_KEY = "containers/{cid:012d}.meta"
+
+    def __init__(self, oss: ObjectStorageService, bucket: str = "slimstore") -> None:
+        self._oss = oss
+        self._bucket = bucket
+        self._next_id = 0
+        self._live_ids: set[int] = set()
+        oss.create_bucket(bucket)
+
+    @property
+    def oss(self) -> ObjectStorageService:
+        """The OSS endpoint this store lives on."""
+        return self._oss
+
+    def recover(self) -> int:
+        """Rebuild live-id tracking from OSS; returns the container count.
+
+        Used when attaching to an existing repository: container data
+        objects are the source of truth.
+        """
+        self._live_ids.clear()
+        highest = -1
+        for key in self._oss.peek_keys(self._bucket, "containers/"):
+            if not key.endswith(".data"):
+                continue
+            cid = int(key[len("containers/") : -len(".data")])
+            self._live_ids.add(cid)
+            highest = max(highest, cid)
+        self._next_id = highest + 1
+        return len(self._live_ids)
+
+    # --- building -------------------------------------------------------------
+    def new_builder(self, capacity_bytes: int) -> ContainerBuilder:
+        """Allocate a container id and return a builder for it."""
+        builder = ContainerBuilder(self._next_id, capacity_bytes)
+        self._next_id += 1
+        return builder
+
+    def write(self, builder: ContainerBuilder) -> int:
+        """Persist a built container (data + meta); returns bytes uploaded."""
+        if builder.is_empty():
+            raise ContainerError("refusing to persist an empty container")
+        data = builder.payload()
+        meta = builder.meta.to_bytes()
+        cid = builder.container_id
+        self._oss.put_object(self._bucket, self.DATA_KEY.format(cid=cid), data)
+        self._oss.put_object(
+            self._bucket, self.META_KEY.format(cid=cid), meta, piggyback=True
+        )
+        self._live_ids.add(cid)
+        return len(data) + len(meta)
+
+    # --- reading ------------------------------------------------------------------
+    def read_data(self, container_id: int, channels: int = 1) -> bytes:
+        """Whole-container payload read (the restore access pattern)."""
+        return self._oss.get_object(
+            self._bucket, self.DATA_KEY.format(cid=container_id), channels
+        )
+
+    def read_meta(self, container_id: int, piggyback: bool = False) -> ContainerMeta:
+        """Container metadata read (``piggyback`` when read next to data)."""
+        payload = self._oss.get_object(
+            self._bucket, self.META_KEY.format(cid=container_id), piggyback=piggyback
+        )
+        return ContainerMeta.from_bytes(payload)
+
+    def read_chunk(self, container_id: int, fp: bytes) -> bytes | None:
+        """Ranged read of a single chunk (meta lookup + ranged GET)."""
+        meta = self.read_meta(container_id)
+        entry = meta.find(fp)
+        if entry is None or entry.deleted:
+            return None
+        return self._oss.get_range(
+            self._bucket, self.DATA_KEY.format(cid=container_id), entry.offset, entry.size
+        )
+
+    def exists(self, container_id: int) -> bool:
+        """True if the container's data object is still stored."""
+        return container_id in self._live_ids
+
+    # --- mutation (G-node only) -----------------------------------------------------
+    def update_meta(self, meta: ContainerMeta) -> None:
+        """Persist updated metadata (e.g. after marking chunks deleted)."""
+        self._oss.put_object(
+            self._bucket, self.META_KEY.format(cid=meta.container_id), meta.to_bytes()
+        )
+
+    def rewrite(self, container_id: int) -> int:
+        """Drop deleted chunks from the payload; returns bytes reclaimed.
+
+        "the container is read out and invalid chunks will be removed, and
+        then rewritten to OSS" (Section VI-A).  Live alias entries whose
+        owning chunk survives are re-based onto the owner's new offset;
+        aliases that outlive their owner are materialised as chunks of
+        their own so the bytes they name remain restorable.
+        """
+        meta = self.read_meta(container_id)
+        data = self.read_data(container_id)
+        new_data = bytearray()
+        new_meta = ContainerMeta(container_id)
+        moved: dict[int, int] = {}  # old primary offset -> new offset
+        for entry in meta.entries:
+            if entry.deleted or entry.alias:
+                continue
+            moved[entry.offset] = len(new_data)
+            new_data += data[entry.offset : entry.offset + entry.size]
+            new_meta.add(
+                ChunkLocation(fp=entry.fp, offset=moved[entry.offset], size=entry.size)
+            )
+        for entry in meta.entries:
+            if entry.deleted or not entry.alias:
+                continue
+            owner = next(
+                (
+                    primary
+                    for primary in meta.entries
+                    if not primary.alias
+                    and not primary.deleted
+                    and self._covers(primary, entry)
+                ),
+                None,
+            )
+            if owner is not None:
+                delta = entry.offset - owner.offset
+                new_meta.add(
+                    ChunkLocation(
+                        fp=entry.fp,
+                        offset=moved[owner.offset] + delta,
+                        size=entry.size,
+                        alias=True,
+                    )
+                )
+            else:
+                # Owner deleted: keep the alias bytes as a first-class chunk.
+                new_offset = len(new_data)
+                new_data += data[entry.offset : entry.offset + entry.size]
+                new_meta.add(
+                    ChunkLocation(fp=entry.fp, offset=new_offset, size=entry.size)
+                )
+        reclaimed = len(data) - len(new_data)
+        if not new_data:
+            self.delete(container_id)
+            return reclaimed
+        self._oss.put_object(
+            self._bucket, self.DATA_KEY.format(cid=container_id), bytes(new_data)
+        )
+        self.update_meta(new_meta)
+        return reclaimed
+
+    @staticmethod
+    def _covers(owner: ChunkLocation, alias: ChunkLocation) -> bool:
+        return (
+            owner.offset <= alias.offset
+            and alias.offset + alias.size <= owner.offset + owner.size
+        )
+
+    def delete(self, container_id: int) -> bool:
+        """Delete both objects of a container; True if data existed."""
+        existed = self._oss.delete_object(self._bucket, self.DATA_KEY.format(cid=container_id))
+        self._oss.delete_object(self._bucket, self.META_KEY.format(cid=container_id))
+        self._live_ids.discard(container_id)
+        return existed
+
+    # --- accounting -------------------------------------------------------------------
+    def container_ids(self) -> list[int]:
+        """All live container ids, sorted."""
+        return sorted(self._live_ids)
+
+    def stored_bytes(self) -> int:
+        """Total data-object bytes currently stored (meta excluded, free)."""
+        total = 0
+        for cid in self._live_ids:
+            size = self._oss.peek_size(self._bucket, self.DATA_KEY.format(cid=cid))
+            total += size or 0
+        return total
+
+    def container_size(self, container_id: int) -> int:
+        """Data-object size of one container (accounting only, free)."""
+        size = self._oss.peek_size(self._bucket, self.DATA_KEY.format(cid=container_id))
+        if size is None:
+            raise ObjectNotFoundError(self._bucket, self.DATA_KEY.format(cid=container_id))
+        return size

@@ -1,0 +1,715 @@
+"""Online deduplication on the L-node (Section IV).
+
+The three-step workflow:
+
+1. *Detect* a historical version (by path) or a similar file (by sampled
+   header fingerprints against the similar-file index), and fetch the
+   detected file's recipe index.
+2. *Chunk and deduplicate*: cut the stream with CDC, look sampled
+   fingerprints up in the recipe index, prefetch the matching segment
+   recipes into the dedup cache, and filter duplicates through the cache's
+   logical locality.  Two history-aware accelerations ride on this loop:
+   **skip chunking** (jump the cut point forward by the previous version's
+   next chunk size and verify the cut condition, Section IV-B) and
+   **SuperChunking** (match whole superchunks via their firstChunk,
+   Algorithm 1).
+3. *Segment and persist*: pack unique chunks into containers, group chunk
+   records into segment recipes, merge qualifying duplicate runs into
+   superchunks (Section IV-C), then persist containers, recipe, recipe
+   index and the similar-file registration.
+
+All CPU and network work is charged to a :class:`TimeBreakdown` in the
+paper's categories, which is where the Fig 2 / Fig 5(d) breakdowns and all
+dedup throughput figures come from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+
+from repro.chunking.base import BoundarySet, make_chunker
+from repro.core.config import SlimStoreConfig
+from repro.core.container import ContainerBuilder
+from repro.core.recipe import ChunkRecord, Recipe, RecipeHandle, RecipeIndex
+from repro.core.storage import StorageLayer
+from repro.fingerprint.hashing import fingerprint
+from repro.fingerprint.sampling import is_sampled
+from repro.sim.cost_model import CostModel
+from repro.sim.metrics import Counters, TimeBreakdown
+
+#: Maximum segment recipes held in the L-node dedup cache at once.
+DEDUP_CACHE_SEGMENTS = 256
+
+
+class DedupCache:
+    """Prefetched segment recipes of the detected historical/similar file.
+
+    Provides the two lookups the engine needs: fingerprint → record (with
+    logical locality: a whole segment arrives per prefetch) and record →
+    successor record (what skip chunking uses to predict the next cut).
+    Superchunk records are additionally indexed under their firstChunk
+    fingerprint so Algorithm 1 can trigger.
+    """
+
+    def __init__(self, max_segments: int = DEDUP_CACHE_SEGMENTS) -> None:
+        self._segments: OrderedDict[int, list[ChunkRecord]] = OrderedDict()
+        self._by_fp: dict[bytes, tuple[int, int]] = {}
+        self._max_segments = max_segments
+
+    def has_segment(self, ordinal: int) -> bool:
+        """True if the segment recipe is already cached."""
+        return ordinal in self._segments
+
+    def insert_segment(self, ordinal: int, records: list[ChunkRecord]) -> None:
+        """Cache one prefetched segment recipe (LRU-evicting the oldest)."""
+        if ordinal in self._segments:
+            return
+        while len(self._segments) >= self._max_segments:
+            old_ordinal, old_records = self._segments.popitem(last=False)
+            for position, record in enumerate(old_records):
+                self._drop_keys(record, old_ordinal, position)
+        self._segments[ordinal] = records
+        for position, record in enumerate(records):
+            self._by_fp.setdefault(record.fp, (ordinal, position))
+            if record.is_superchunk:
+                self._by_fp.setdefault(record.first_fp, (ordinal, position))
+
+    def _drop_keys(self, record: ChunkRecord, ordinal: int, position: int) -> None:
+        for key in (record.fp, record.first_fp if record.is_superchunk else None):
+            if key is not None and self._by_fp.get(key) == (ordinal, position):
+                del self._by_fp[key]
+
+    def lookup(self, fp: bytes) -> tuple[ChunkRecord, tuple[int, int]] | None:
+        """Record whose fp (or superchunk firstChunk fp) equals ``fp``."""
+        location = self._by_fp.get(fp)
+        if location is None:
+            return None
+        ordinal, position = location
+        return self._segments[ordinal][position], location
+
+    def successor(self, location: tuple[int, int]) -> tuple[ChunkRecord, tuple[int, int]] | None:
+        """The record after ``location`` within its segment, if cached."""
+        ordinal, position = location
+        records = self._segments.get(ordinal)
+        if records is None:
+            return None
+        if position + 1 < len(records):
+            return records[position + 1], (ordinal, position + 1)
+        following = self._segments.get(ordinal + 1)
+        if following:
+            return following[0], (ordinal + 1, 0)
+        return None
+
+
+@dataclass
+class BackupResult:
+    """Everything one backup job produced and observed."""
+
+    path: str
+    version: int
+    recipe: Recipe
+    breakdown: TimeBreakdown
+    counters: Counters
+    logical_bytes: int
+    stored_chunk_bytes: int
+    uploaded_bytes: int
+    new_container_ids: list[int]
+    #: container id → (referenced chunk count, referenced bytes) for this
+    #: version, feeding sparse-container detection (Section V-B).
+    referenced_containers: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of logical bytes eliminated (the paper's metric)."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return 1.0 - self.stored_chunk_bytes / self.logical_bytes
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Virtual job duration with CPU/network pipelining."""
+        return self.breakdown.elapsed_pipelined()
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Deduplication throughput in MB/s of logical data."""
+        elapsed = self.elapsed_seconds
+        if elapsed == 0:
+            return 0.0
+        return self.logical_bytes / elapsed / (1 << 20)
+
+    @property
+    def average_chunk_bytes(self) -> float:
+        """Mean logical chunk size in this version's recipe."""
+        count = self.recipe.chunk_count()
+        if count == 0:
+            return 0.0
+        return self.logical_bytes / count
+
+
+class BackupEngine:
+    """One L-node backup job: deduplicate a file stream and persist it."""
+
+    def __init__(
+        self,
+        config: SlimStoreConfig,
+        storage: StorageLayer,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.config = config
+        self.storage = storage
+        self.cost_model = cost_model or CostModel()
+        self._chunker = make_chunker(config.chunker, config.chunker_params())
+        self._merge_policy = config.merge_policy()
+
+    # ------------------------------------------------------------------
+    def backup(
+        self,
+        path: str,
+        data: bytes,
+        rewrite_containers: set[int] | None = None,
+    ) -> BackupResult:
+        """Deduplicate ``data`` as the next version of ``path``.
+
+        ``rewrite_containers`` is the hook rewriting baselines (HAR) use:
+        duplicates that resolve into one of these containers are stored
+        again instead of being deduplicated.
+        """
+        breakdown = TimeBreakdown()
+        counters = Counters()
+        boundary_set = self._chunker.boundaries(data)
+
+        handle, recipe_index = self._detect_base(
+            path, data, boundary_set, breakdown, counters
+        )
+        latest = self.storage.similar_index.latest_version(path)
+        version = 0 if latest is None else latest + 1
+
+        job = _JobState(
+            engine=self,
+            path=path,
+            version=version,
+            data=data,
+            boundaries=boundary_set,
+            handle=handle,
+            recipe_index=recipe_index,
+            breakdown=breakdown,
+            counters=counters,
+            rewrite_containers=rewrite_containers or set(),
+        )
+        job.run()
+        return job.finish()
+
+    # ------------------------------------------------------------------
+    def _detect_base(
+        self,
+        path: str,
+        data: bytes,
+        boundary_set: BoundarySet,
+        breakdown: TimeBreakdown,
+        counters: Counters,
+    ) -> tuple[RecipeHandle | None, RecipeIndex | None]:
+        """Step 1: find a historical version or similar file and open it."""
+        similar = self.storage.similar_index
+        base: tuple[str, int] | None = None
+        latest = similar.latest_version(path)
+        breakdown.charge("index_query", self.cost_model.cpu_index_query)
+        if latest is not None:
+            base = (path, latest)
+            counters.add("detect_by_name")
+        else:
+            base = self._probe_header(data, boundary_set, breakdown, counters)
+
+        if base is None:
+            counters.add("detect_none")
+            return None, None
+
+        base_path, base_version = base
+        before = self.storage.oss.stats.snapshot()
+        handle = self.storage.recipes.open_recipe(base_path, base_version)
+        recipe_index = self.storage.recipes.get_recipe_index(base_path, base_version)
+        downloaded = self.storage.oss.stats.diff(before)
+        breakdown.charge("download", downloaded.read_seconds)
+        counters.add("recipe_index_fetches")
+        return handle, recipe_index
+
+    def _probe_header(
+        self,
+        data: bytes,
+        boundary_set: BoundarySet,
+        breakdown: TimeBreakdown,
+        counters: Counters,
+    ) -> tuple[str, int] | None:
+        """Sample header chunks and vote in the similar-file index."""
+        limit = min(len(data), self.config.header_probe_bytes)
+        samples: list[bytes] = []
+        position = 0
+        while position < limit:
+            end = boundary_set.next_cut(position)
+            chunk = data[position:end]
+            breakdown.charge(
+                "chunking", self.cost_model.chunking_cost(self._chunker.name, len(chunk))
+            )
+            breakdown.charge("fingerprinting", self.cost_model.fingerprint_cost(len(chunk)))
+            fp = fingerprint(chunk)
+            if is_sampled(fp, self.config.similarity_sample_ratio):
+                samples.append(fp)
+            position = end
+        breakdown.charge("index_query", self.cost_model.cpu_index_query * max(1, len(samples)))
+        counters.add("header_probes")
+        found = self.storage.similar_index.find_similar(samples)
+        if found is not None:
+            counters.add("detect_by_similarity")
+        return found
+
+
+class _JobState:
+    """Mutable state of one backup job; the main loop lives here."""
+
+    def __init__(
+        self,
+        engine: BackupEngine,
+        path: str,
+        version: int,
+        data: bytes,
+        boundaries: BoundarySet,
+        handle: RecipeHandle | None,
+        recipe_index: RecipeIndex | None,
+        breakdown: TimeBreakdown,
+        counters: Counters,
+        rewrite_containers: set[int] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = engine.config
+        self.cost = engine.cost_model
+        self.storage = engine.storage
+        self.path = path
+        self.version = version
+        self.data = data
+        self.boundaries = boundaries
+        self.handle = handle
+        self.recipe_index = recipe_index
+        self.breakdown = breakdown
+        self.counters = counters
+
+        self.cache = DedupCache()
+        #: fp → record stored earlier in THIS job (intra-stream dedup,
+        #: which is what handles self-referencing chunks).
+        self.local_records: dict[bytes, ChunkRecord] = {}
+        self.segments: list[list[ChunkRecord]] = []
+        self.current_records: list[ChunkRecord] = []
+        self.current_starts: list[int] = []
+        self.current_bytes = 0
+        self.builder: ContainerBuilder = self.storage.containers.new_builder(
+            self.config.container_bytes
+        )
+        self.new_container_ids: list[int] = []
+        self.stored_chunk_bytes = 0
+        self.uploaded_bytes = 0
+        self.referenced: Counter[int] = Counter()
+        self.referenced_bytes: Counter[int] = Counter()
+        self.rewrite_containers = rewrite_containers or set()
+        #: Skip-chunking state: location of the last matched record.
+        self.skip_from: tuple[int, int] | None = None
+
+    # --- cost helpers ----------------------------------------------------
+    def _charge_scan(self, nbytes: int) -> None:
+        self.breakdown.charge(
+            "chunking", self.cost.chunking_cost(self.engine._chunker.name, nbytes)
+        )
+
+    def _charge_skip(self, nbytes: int) -> None:
+        self.breakdown.charge("chunking", self.cost.chunking_cost("skip", nbytes))
+
+    def _charge_fingerprint(self, nbytes: int) -> None:
+        self.breakdown.charge("fingerprinting", self.cost.fingerprint_cost(nbytes))
+
+    def _charge_lookup(self) -> None:
+        self.breakdown.charge("index_query", self.cost.cpu_index_query)
+
+    def _charge_other(self, nbytes: int) -> None:
+        self.breakdown.charge("other", self.cost.cpu_other_per_byte * nbytes)
+
+    # --- main loop ---------------------------------------------------------
+    def run(self) -> None:
+        """Steps 2 and 3: chunk, deduplicate, segment, persist."""
+        position = 0
+        length = len(self.data)
+        while position < length:
+            consumed = False
+            if self.config.skip_chunking and self.skip_from is not None:
+                consumed = self._try_skip_chunking(position)
+                if consumed:
+                    position = self._last_end
+                    continue
+            position = self._cdc_step(position)
+        self._finalize_segment()
+        self._flush_container()
+
+    # --- skip chunking (Section IV-B) ------------------------------------
+    def _try_skip_chunking(self, position: int) -> bool:
+        """Predict the next cut from history; True if a chunk was emitted."""
+        successor = self.cache.successor(self.skip_from)
+        if successor is None and self.handle is not None:
+            ordinal = self.skip_from[0] + 1
+            if ordinal < self.handle.segment_count:
+                self._prefetch_segment(ordinal)
+                successor = self.cache.successor(self.skip_from)
+        if successor is None:
+            self.skip_from = None
+            return False
+        predicted, location = successor
+        end = position + predicted.size
+        if end > len(self.data) or not self.boundaries.is_cut(position, end):
+            self.counters.add("skip_fail")
+            self.skip_from = None
+            return False
+        chunk = self.data[position:end]
+        self._charge_skip(len(chunk))
+        self._charge_fingerprint(len(chunk))
+        fp = fingerprint(chunk)
+        self.breakdown.charge("index_query", self.cost.cpu_fp_compare)
+        if fp != predicted.fp:
+            # Boundary matched but content changed: fall back to the dedup
+            # cache for this chunk, then resume CDC.
+            self.counters.add("skip_fp_mismatch")
+            self.skip_from = None
+            self._classify_chunk(position, end, fp)
+            self._last_end = end
+            return True
+        self.counters.add("skip_success")
+        if predicted.is_superchunk:
+            self.counters.add("superchunk_hits")
+        self._emit_duplicate(position, end, predicted)
+        self.skip_from = location
+        self._last_end = end
+        return True
+
+    # --- normal CDC step ---------------------------------------------------
+    def _cdc_step(self, position: int) -> int:
+        """Cut one chunk with CDC and classify it; returns the new position."""
+        end = self.boundaries.next_cut(position)
+        self._charge_scan(end - position)
+        fp = fingerprint(self.data[position:end])
+        self._charge_fingerprint(end - position)
+
+        # SuperChunking (Algorithm 1): the cut chunk may be the firstChunk
+        # of a known superchunk.
+        if self.config.chunk_merging:
+            absorbed_end = self._try_superchunking(position, end, fp)
+            if absorbed_end is not None:
+                return absorbed_end
+
+        self._classify_chunk(position, end, fp)
+        return end
+
+    def _try_superchunking(self, position: int, end: int, fp: bytes) -> int | None:
+        """Algorithm 1; returns the superchunk end if it matched."""
+        hit = self.cache.lookup(fp)
+        if hit is None:
+            return None
+        record, location = hit
+        if not record.is_superchunk or record.first_fp != fp:
+            return None
+        sc_end = position + record.size
+        if sc_end > len(self.data):
+            return None
+        self._charge_fingerprint(record.size - (end - position))
+        sc_fp = fingerprint(self.data[position:sc_end])
+        self.breakdown.charge("index_query", self.cost.cpu_fp_compare)
+        if sc_fp != record.fp:
+            # Failed: c^n is a plain duplicate of the firstChunk; CDC
+            # resumes from the current cut point p1 (= end).
+            self.counters.add("superchunk_miss")
+            first_record = ChunkRecord(
+                fp=record.first_fp,
+                container_id=record.container_id,
+                size=record.first_size,
+                duplicate_times=1,
+                is_duplicate=True,
+            )
+            self._append_record(first_record, position)
+            self.skip_from = None
+            return end
+        self.counters.add("superchunk_hits")
+        self._emit_duplicate(position, sc_end, record)
+        self.skip_from = location
+        return sc_end
+
+    # --- classification ------------------------------------------------------
+    def _classify_chunk(self, position: int, end: int, fp: bytes) -> None:
+        """Duplicate via caches/recipe index, otherwise store as unique."""
+        self._charge_lookup()
+        local = self.local_records.get(fp)
+        if local is not None:
+            self.counters.add("local_duplicates")
+            duplicate = ChunkRecord(
+                fp=fp,
+                container_id=local.container_id,
+                size=local.size,
+                duplicate_times=local.duplicate_times,
+                is_duplicate=True,
+            )
+            self._append_record(duplicate, position)
+            return
+
+        hit = self.cache.lookup(fp)
+        if hit is None and self._maybe_prefetch(fp):
+            hit = self.cache.lookup(fp)
+        if hit is not None:
+            record, location = hit
+            if record.fp == fp:
+                self._emit_duplicate(position, end, record)
+                self.skip_from = location
+                return
+            if record.is_superchunk and record.first_fp == fp:
+                # Duplicate of a superchunk's firstChunk (the bytes live at
+                # the head of the superchunk; an alias meta entry resolves
+                # the fingerprint at restore time).
+                first_record = ChunkRecord(
+                    fp=fp,
+                    container_id=record.container_id,
+                    size=record.first_size,
+                    duplicate_times=1,
+                    is_duplicate=True,
+                )
+                self.counters.add("dup_chunks")
+                self.counters.add("dup_bytes", first_record.size)
+                self._append_record(first_record, position)
+                return
+
+        self._emit_unique(position, end, fp)
+
+    def _maybe_prefetch(self, fp: bytes) -> bool:
+        """Consult the recipe index; prefetch matching segment recipes.
+
+        The index holds only sampled fingerprints (plus segment-first and
+        superchunk-firstChunk entries), so the mod-R sampling bounds its
+        size; the probe itself is an in-memory lookup and runs for every
+        cache miss — a miss on an unsampled fingerprint costs one hash
+        probe and nothing else.
+        """
+        if self.recipe_index is None or self.handle is None:
+            return False
+        self.breakdown.charge("index_query", self.cost.cpu_fp_compare)
+        ordinals = self.recipe_index.lookup(fp)
+        fetched = False
+        for ordinal in ordinals:
+            # Logical locality: chunks near the match "will also appear in
+            # this segment with a high probability", so prefetch a span of
+            # consecutive segment recipes starting at the match.
+            if not self.cache.has_segment(ordinal):
+                self._prefetch_segment(ordinal)
+                fetched = True
+        return fetched
+
+    def _prefetch_segment(self, ordinal: int) -> None:
+        """Fetch a prefetch span of segment recipes in one ranged GET."""
+        span = max(1, self.config.prefetch_segment_span)
+        span = min(span, self.handle.segment_count - ordinal)
+        before = self.storage.oss.stats.snapshot()
+        segments = self.handle.get_segment_range(ordinal, span)
+        downloaded = self.storage.oss.stats.diff(before)
+        self.breakdown.charge("download", downloaded.read_seconds)
+        for offset, records in enumerate(segments):
+            self.counters.add("segments_prefetched")
+            self.cache.insert_segment(ordinal + offset, records)
+
+    # --- record emission --------------------------------------------------------
+    def _emit_duplicate(self, position: int, end: int, base: ChunkRecord) -> None:
+        if base.container_id in self.rewrite_containers:
+            # HAR-style rewriting: a duplicate living in a sparse container
+            # is stored again to repair physical locality.
+            self.counters.add("rewritten_chunks")
+            self._emit_unique(position, end, base.fp)
+            return
+        record = ChunkRecord(
+            fp=base.fp,
+            container_id=base.container_id,
+            size=end - position,
+            duplicate_times=base.duplicate_times + 1,
+            is_superchunk=base.is_superchunk,
+            first_fp=base.first_fp,
+            first_size=base.first_size,
+            is_duplicate=True,
+        )
+        self.counters.add("dup_chunks")
+        self.counters.add("dup_bytes", record.size)
+        self._append_record(record, position)
+
+    def _emit_unique(self, position: int, end: int, fp: bytes) -> None:
+        chunk = self.data[position:end]
+        self._charge_other(len(chunk))
+        if self.builder.is_full():
+            self._flush_container()
+        self.builder.add_chunk(fp, chunk)
+        record = ChunkRecord(
+            fp=fp,
+            container_id=self.builder.container_id,
+            size=len(chunk),
+            duplicate_times=0,
+        )
+        self.counters.add("unique_chunks")
+        self.stored_chunk_bytes += len(chunk)
+        self.local_records[fp] = record
+        self._append_record(record, position)
+        self.skip_from = None
+
+    def _append_record(self, record: ChunkRecord, start: int) -> None:
+        self.breakdown.charge("other", self.cost.cpu_record_handling)
+        self.current_records.append(record)
+        self.current_starts.append(start)
+        self.current_bytes += record.size
+        self.counters.add("chunks")
+        if self.current_bytes >= self.config.segment_bytes:
+            self._finalize_segment()
+
+    # --- segment finalisation & merging (Section IV-C) -----------------------------
+    def _finalize_segment(self) -> None:
+        if not self.current_records:
+            return
+        records = self.current_records
+        starts = self.current_starts
+        if self.config.chunk_merging:
+            records, starts = self._merge_superchunks(records, starts)
+        self.segments.append(records)
+        self.current_records = []
+        self.current_starts = []
+        self.current_bytes = 0
+
+    def _merge_superchunks(
+        self, records: list[ChunkRecord], starts: list[int]
+    ) -> tuple[list[ChunkRecord], list[int]]:
+        runs = self.engine._merge_policy.plan_merge_runs(records)
+        if not runs:
+            return records, starts
+        merged_records: list[ChunkRecord] = []
+        merged_starts: list[int] = []
+        run_map = {start: end for start, end in runs}
+        index = 0
+        while index < len(records):
+            run_end = run_map.get(index)
+            if run_end is None:
+                merged_records.append(records[index])
+                merged_starts.append(starts[index])
+                index += 1
+                continue
+            record = self._build_superchunk(records, starts, index, run_end)
+            merged_records.append(record)
+            merged_starts.append(starts[index])
+            index = run_end
+        return merged_records, merged_starts
+
+    def _build_superchunk(
+        self, records: list[ChunkRecord], starts: list[int], begin: int, end: int
+    ) -> ChunkRecord:
+        """Materialise one superchunk: new payload, container, record."""
+        first = records[begin]
+        data_start = starts[begin]
+        data_end = starts[end - 1] + records[end - 1].size
+        payload = self.data[data_start:data_end]
+        self._charge_fingerprint(len(payload))
+        self._charge_other(len(payload))
+        sc_fp = fingerprint(payload)
+        if self.builder.payload_bytes + len(payload) > self.config.container_bytes:
+            self._flush_container()
+        offset = self.builder.payload_bytes
+        self.builder.add_chunk(sc_fp, payload)
+        # Alias every constituent chunk into the superchunk's bytes: the
+        # firstChunk alias drives Algorithm 1, and the rest let G-node's
+        # reverse deduplication find and delete the constituents' old
+        # copies (the superchunk write would otherwise permanently double
+        # the cold data), with old recipes redirecting here.
+        relative = 0
+        for position in range(begin, end):
+            constituent = records[position]
+            self.builder.add_alias(constituent.fp, offset + relative, constituent.size)
+            relative += constituent.size
+        self.counters.add("superchunks_created")
+        self.counters.add("superchunk_bytes_written", len(payload))
+        self.stored_chunk_bytes += len(payload)
+        return ChunkRecord(
+            fp=sc_fp,
+            container_id=self.builder.container_id,
+            size=len(payload),
+            duplicate_times=self.config.merge_threshold,
+            is_superchunk=True,
+            first_fp=first.fp,
+            first_size=first.size,
+            is_duplicate=False,
+        )
+
+    # --- persistence ------------------------------------------------------------
+    def _flush_container(self) -> None:
+        if self.builder.is_empty():
+            self.builder = self.storage.containers.new_builder(self.config.container_bytes)
+            return
+        before = self.storage.oss.stats.snapshot()
+        self.storage.containers.write(self.builder)
+        written = self.storage.oss.stats.diff(before)
+        self.breakdown.charge("upload", written.write_seconds)
+        self.uploaded_bytes += written.bytes_written
+        self.counters.add("containers_written")
+        self.new_container_ids.append(self.builder.container_id)
+        self.builder = self.storage.containers.new_builder(self.config.container_bytes)
+
+    def finish(self) -> BackupResult:
+        """Persist recipe, recipe index and similarity registration."""
+        recipe = Recipe(
+            path=self.path,
+            version=self.version,
+            total_bytes=len(self.data),
+            segments=self.segments,
+        )
+        index = RecipeIndex()
+        all_fps: list[bytes] = []
+        for ordinal, segment in enumerate(self.segments):
+            for position, record in enumerate(segment):
+                all_fps.append(record.fp)
+                if position == 0 or is_sampled(record.fp, self.config.effective_sample_ratio()):
+                    index.add(record.fp, ordinal)
+                if record.is_superchunk:
+                    # The next version's CDC cuts small chunks, which can
+                    # only rendezvous with a superchunk through its
+                    # firstChunk fingerprint (Algorithm 1) — so every
+                    # superchunk's firstChunk is indexed.
+                    index.add(record.first_fp, ordinal)
+
+        before = self.storage.oss.stats.snapshot()
+        self.storage.recipes.put_recipe(recipe)
+        self.storage.recipes.put_recipe_index(self.path, self.version, index)
+        representatives = [
+            fp
+            for fp in all_fps
+            if is_sampled(fp, self.config.similarity_sample_ratio)
+        ][: self.config.max_file_representatives]
+        self.storage.similar_index.register(self.path, self.version, representatives)
+        written = self.storage.oss.stats.diff(before)
+        self.breakdown.charge("upload", written.write_seconds)
+        self.uploaded_bytes += written.bytes_written
+
+        # Container references are computed from the *final* recipe so
+        # superchunk merging (which rewrites duplicate runs into new
+        # containers) is reflected in sparse-container detection.
+        for record in recipe.all_records():
+            if record.is_duplicate:
+                self.referenced[record.container_id] += 1
+                self.referenced_bytes[record.container_id] += record.size
+        referenced = {
+            cid: (self.referenced[cid], self.referenced_bytes[cid])
+            for cid in self.referenced
+        }
+        self.counters.add("logical_bytes", len(self.data))
+        return BackupResult(
+            path=self.path,
+            version=self.version,
+            recipe=recipe,
+            breakdown=self.breakdown,
+            counters=self.counters,
+            logical_bytes=len(self.data),
+            stored_chunk_bytes=self.stored_chunk_bytes,
+            uploaded_bytes=self.uploaded_bytes,
+            new_container_ids=self.new_container_ids,
+            referenced_containers=referenced,
+        )

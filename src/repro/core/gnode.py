@@ -1,0 +1,321 @@
+"""Offline space management on the G-node (Sections V-B and VI).
+
+Three jobs, all run in the backend after an online backup completes:
+
+* **Global reverse deduplication** — filter every chunk of the newly
+  written containers through the global index (Bloom-prefiltered); when a
+  chunk already exists in an older container, delete the *old* copy and
+  re-point the global index at the new one, preserving the new version's
+  layout (Section VI-A).
+* **Sparse container compaction (SCC)** — containers whose utilisation for
+  the just-backed-up version fell below the threshold get their useful
+  chunks copied into fresh containers; the current recipe is updated in
+  place, so the benefit applies to the current version immediately, unlike
+  HAR's next-version rewriting (Section V-B).
+* **Container hygiene** — once a container's stale fraction crosses the
+  rewrite threshold, it is read back, purged of deleted chunks and
+  rewritten, shrinking what old versions pay for (Fig 9(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SlimStoreConfig
+from repro.core.container import ContainerMeta
+from repro.core.dedup import BackupResult
+from repro.core.storage import StorageLayer
+from repro.errors import ObjectNotFoundError
+from repro.sim.cost_model import CostModel
+from repro.sim.metrics import Counters, TimeBreakdown
+
+
+@dataclass
+class ReverseDedupReport:
+    """Outcome of one global reverse deduplication pass."""
+
+    chunks_scanned: int = 0
+    duplicates_removed: int = 0
+    bytes_marked_deleted: int = 0
+    containers_rewritten: int = 0
+    bytes_reclaimed: int = 0
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    counters: Counters = field(default_factory=Counters)
+
+
+@dataclass
+class CompactionReport:
+    """Outcome of one sparse-container compaction pass."""
+
+    sparse_containers: list[int] = field(default_factory=list)
+    chunks_moved: int = 0
+    bytes_moved: int = 0
+    new_container_ids: list[int] = field(default_factory=list)
+    bytes_reclaimed: int = 0
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+
+class GNode:
+    """The offline space-optimisation node."""
+
+    def __init__(
+        self,
+        config: SlimStoreConfig,
+        storage: StorageLayer,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.config = config
+        self.storage = storage
+        self.cost_model = cost_model or CostModel()
+
+    # ------------------------------------------------------------------
+    # Global reverse deduplication (Section VI-A)
+    # ------------------------------------------------------------------
+    def reverse_dedup(self, new_container_ids: list[int]) -> ReverseDedupReport:
+        """Exact-deduplicate the chunks of freshly written containers."""
+        report = ReverseDedupReport()
+        index = self.storage.global_index
+        containers = self.storage.containers
+        meta_cache: dict[int, ContainerMeta] = {}
+        dirty: set[int] = set()
+
+        for cid in new_container_ids:
+            before = self.storage.oss.stats.snapshot()
+            meta = containers.read_meta(cid)
+            report.breakdown.charge(
+                "download", self.storage.oss.stats.diff(before).read_seconds
+            )
+            for entry in meta.entries:
+                if entry.deleted:
+                    continue
+                report.chunks_scanned += 1
+                fp = entry.fp
+                if not index.maybe_contains(fp):
+                    # Definitely new: register without touching Rocks-OSS
+                    # for a read ("quickly filter out unique chunks").
+                    index.assign(fp, cid)
+                    report.counters.add("bloom_fast_inserts")
+                    continue
+                owner = self._index_lookup(fp, report)
+                if owner is None or owner == cid:
+                    index.assign(fp, cid)
+                    continue
+                # Exact duplicate missed online: reverse-deduplicate by
+                # deleting the copy in the *old* container.
+                old_meta = self._old_meta(owner, meta_cache, report)
+                if old_meta is not None and old_meta.mark_deleted(fp):
+                    report.duplicates_removed += 1
+                    report.bytes_marked_deleted += entry.size
+                    dirty.add(owner)
+                index.assign(fp, cid)
+
+        self._persist_dirty_metas(meta_cache, dirty, report)
+        return report
+
+    def _index_lookup(self, fp: bytes, report: ReverseDedupReport) -> int | None:
+        before = self.storage.oss.stats.snapshot()
+        owner = self.storage.global_index.lookup(fp)
+        report.breakdown.charge(
+            "download", self.storage.oss.stats.diff(before).read_seconds
+        )
+        report.breakdown.charge("index_query", self.cost_model.cpu_index_query)
+        return owner
+
+    def _old_meta(
+        self, cid: int, meta_cache: dict[int, ContainerMeta], report: ReverseDedupReport
+    ) -> ContainerMeta | None:
+        """Old-container metadata, cached per pass when configured.
+
+        "caching the meta of the old container can also reduce the access
+        number of Rocks-OSS to accelerate global deduplication."
+        """
+        if self.config.gdedup_meta_cache and cid in meta_cache:
+            report.counters.add("meta_cache_hits")
+            return meta_cache[cid]
+        try:
+            before = self.storage.oss.stats.snapshot()
+            meta = self.storage.containers.read_meta(cid)
+            report.breakdown.charge(
+                "download", self.storage.oss.stats.diff(before).read_seconds
+            )
+        except (ObjectNotFoundError, KeyError):
+            # The owner container was collected; the fingerprint simply
+            # moves to its new home.
+            return None
+        report.counters.add("meta_cache_misses")
+        if self.config.gdedup_meta_cache:
+            meta_cache[cid] = meta
+        return meta
+
+    def _persist_dirty_metas(
+        self,
+        meta_cache: dict[int, ContainerMeta],
+        dirty: set[int],
+        report: ReverseDedupReport,
+    ) -> None:
+        for cid in sorted(dirty):
+            meta = meta_cache.get(cid)
+            if meta is None:
+                continue
+            before = self.storage.oss.stats.snapshot()
+            self.storage.containers.update_meta(meta)
+            if meta.stale_fraction() >= self.config.container_rewrite_threshold:
+                report.bytes_reclaimed += self.storage.containers.rewrite(cid)
+                report.containers_rewritten += 1
+            report.breakdown.charge(
+                "upload", self.storage.oss.stats.diff(before).write_seconds
+            )
+
+    # ------------------------------------------------------------------
+    # Sparse container compaction (Section V-B)
+    # ------------------------------------------------------------------
+    def compact_sparse(self, result: BackupResult) -> CompactionReport:
+        """Compact containers the current version references sparsely."""
+        report = CompactionReport()
+        containers = self.storage.containers
+        new_ids = set(result.new_container_ids)
+
+        sparse: list[int] = []
+        for cid, (ref_chunks, _ref_bytes) in sorted(result.referenced_containers.items()):
+            if cid in new_ids or not containers.exists(cid):
+                continue
+            before = self.storage.oss.stats.snapshot()
+            meta = containers.read_meta(cid)
+            report.breakdown.charge(
+                "download", self.storage.oss.stats.diff(before).read_seconds
+            )
+            live = meta.live_chunks()
+            if live == 0:
+                continue
+            utilization = ref_chunks / live
+            if utilization < self.config.sparse_utilization_threshold:
+                sparse.append(cid)
+        if not sparse:
+            return report
+        report.sparse_containers = sparse
+        sparse_set = set(sparse)
+
+        # The fingerprints the current version needs out of each sparse
+        # container, in recipe order (preserving the new version's layout).
+        needed: dict[int, list[bytes]] = {cid: [] for cid in sparse}
+        for record in result.recipe.all_records():
+            if record.container_id in sparse_set:
+                fps = needed[record.container_id]
+                if record.fp not in fps:
+                    fps.append(record.fp)
+
+        builder = containers.new_builder(self.config.container_bytes)
+        moved: dict[bytes, int] = {}
+        for cid in sparse:
+            before = self.storage.oss.stats.snapshot()
+            meta = containers.read_meta(cid)
+            payload = containers.read_data(cid)
+            report.breakdown.charge(
+                "download", self.storage.oss.stats.diff(before).read_seconds
+            )
+            for fp in needed[cid]:
+                entry = meta.find(fp)
+                if entry is None or entry.deleted:
+                    continue
+                if (
+                    not builder.is_empty()
+                    and builder.payload_bytes + entry.size > self.config.container_bytes
+                ):
+                    builder = self._flush_compaction(builder, report)
+                new_offset = builder.payload_bytes
+                builder.add_chunk(fp, payload[entry.offset : entry.offset + entry.size])
+                moved[fp] = builder.container_id
+                report.chunks_moved += 1
+                report.bytes_moved += entry.size
+                meta.mark_deleted(fp)
+                # A moved superchunk carries its firstChunk alias along so
+                # first-chunk references keep resolving in the new home.
+                if not entry.alias:
+                    for alias in meta.entries:
+                        if (
+                            alias.alias
+                            and not alias.deleted
+                            and entry.offset <= alias.offset
+                            and alias.offset + alias.size <= entry.offset + entry.size
+                        ):
+                            delta = alias.offset - entry.offset
+                            builder.add_alias(alias.fp, new_offset + delta, alias.size)
+                            moved[alias.fp] = builder.container_id
+                            meta.mark_deleted(alias.fp)
+            before = self.storage.oss.stats.snapshot()
+            containers.update_meta(meta)
+            if not meta.live_lookup_entries():
+                report.bytes_reclaimed += containers.container_size(cid)
+                containers.delete(cid)
+            elif meta.stale_fraction() >= self.config.container_rewrite_threshold:
+                report.bytes_reclaimed += containers.rewrite(cid)
+            report.breakdown.charge(
+                "upload", self.storage.oss.stats.diff(before).write_seconds
+            )
+        if not builder.is_empty():
+            builder = self._flush_compaction(builder, report)
+
+        # Update the current recipe in place and re-point the global index.
+        for segment in result.recipe.segments:
+            for record in segment:
+                new_cid = moved.get(record.fp)
+                if new_cid is not None and record.container_id in sparse_set:
+                    record.container_id = new_cid
+        for fp, new_cid in moved.items():
+            self.storage.global_index.assign(fp, new_cid)
+        before = self.storage.oss.stats.snapshot()
+        self.storage.recipes.put_recipe(result.recipe)
+        report.breakdown.charge(
+            "upload", self.storage.oss.stats.diff(before).write_seconds
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def deep_clean(self, stale_threshold: float = 0.01) -> int:
+        """Rewrite every container whose stale fraction exceeds the
+        threshold; returns bytes reclaimed.
+
+        The per-backup path only rewrites containers past the configured
+        ``container_rewrite_threshold``; this offline sweep finishes the
+        job during idle periods, squeezing out the remaining marked-deleted
+        bytes (the long-term decline of Fig 9(b)).
+        """
+        reclaimed = 0
+        containers = self.storage.containers
+        for cid in containers.container_ids():
+            meta = containers.read_meta(cid)
+            if not meta.live_lookup_entries():
+                reclaimed += containers.container_size(cid)
+                containers.delete(cid)
+            elif meta.stale_fraction() > stale_threshold:
+                reclaimed += containers.rewrite(cid)
+        self._prune_global_index()
+        return reclaimed
+
+    def _prune_global_index(self) -> int:
+        """Drop index entries whose container no longer exists.
+
+        Version collection sweeps containers without touching the global
+        index (it has no per-container fingerprint list); this offline
+        pass removes the dangling mappings so reverse dedup never chases
+        collected containers.
+        """
+        pruned = 0
+        index = self.storage.global_index
+        containers = self.storage.containers
+        for fp, cid in list(index.iter_items()):
+            if not containers.exists(cid):
+                index.remove(fp)
+                pruned += 1
+        return pruned
+
+    def _flush_compaction(self, builder, report: CompactionReport):
+        before = self.storage.oss.stats.snapshot()
+        self.storage.containers.write(builder)
+        report.breakdown.charge(
+            "upload", self.storage.oss.stats.diff(before).write_seconds
+        )
+        report.new_container_ids.append(builder.container_id)
+        return self.storage.containers.new_builder(self.config.container_bytes)

@@ -1,0 +1,56 @@
+"""The stateless online processing node (Section III-B).
+
+"L-node does not save any state, all the information required in backup
+and restore is loaded during the job execution."  Accordingly, an
+:class:`LNode` constructs a fresh engine per job — everything durable lives
+in the shared storage layer, which is what lets the cluster scale L-nodes
+elastically (Fig 10).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SlimStoreConfig
+from repro.core.dedup import BackupEngine, BackupResult
+from repro.core.restore import RestoreEngine, RestoreResult
+from repro.core.storage import StorageLayer
+from repro.sim.cost_model import CostModel
+
+
+class LNode:
+    """One elastic compute node serving online backup and restore jobs."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: SlimStoreConfig,
+        storage: StorageLayer,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.storage = storage
+        self.cost_model = cost_model or CostModel()
+        self.jobs_executed = 0
+
+    def backup(
+        self,
+        path: str,
+        data: bytes,
+        rewrite_containers: set[int] | None = None,
+    ) -> BackupResult:
+        """Run one backup job (a fresh engine per job: no node state)."""
+        engine = BackupEngine(self.config, self.storage, self.cost_model)
+        self.jobs_executed += 1
+        return engine.backup(path, data, rewrite_containers=rewrite_containers)
+
+    def restore(
+        self,
+        path: str,
+        version: int,
+        prefetch_threads: int | None = None,
+        verify: bool | None = None,
+    ) -> RestoreResult:
+        """Run one restore job."""
+        engine = RestoreEngine(self.config, self.storage, self.cost_model)
+        self.jobs_executed += 1
+        return engine.restore(path, version, prefetch_threads, verify)

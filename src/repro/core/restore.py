@@ -1,0 +1,215 @@
+"""Online restoration on the L-node (Section V).
+
+The restore job loads the target recipe, builds the per-file counting Bloom
+filter (full vision), and walks the chunk sequence with the look-ahead
+window.  Containers are fetched whole; LAW-based prefetching overlaps those
+reads with restore CPU over ``prefetch_threads`` parallel OSS channels, so
+job duration is ``max(cpu, download/threads)`` — with 0 threads every read
+blocks the pipeline (the Table II contrast).
+
+Chunks of old versions may have been moved by reverse deduplication or
+sparse container compaction; when a recipe's container no longer holds a
+fingerprint, the job redirects through the global index (Section VI-A:
+"may cause extra query of the global index ... when restoring old
+versions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SlimStoreConfig
+from repro.core.recipe import ChunkRecord
+from repro.core.restore_cache import FullVisionCache, LookAheadWindow
+from repro.core.storage import StorageLayer
+from repro.errors import IntegrityError, RestoreError
+from repro.fingerprint.hashing import fingerprint
+from repro.kvstore.bloom import CountingBloomFilter
+from repro.sim.cost_model import CostModel
+from repro.sim.metrics import Counters, TimeBreakdown
+
+
+@dataclass
+class RestoreResult:
+    """The restored stream plus everything the job observed."""
+
+    path: str
+    version: int
+    data: bytes
+    breakdown: TimeBreakdown
+    counters: Counters
+    prefetch_threads: int
+
+    @property
+    def logical_bytes(self) -> int:
+        """Restored payload size."""
+        return len(self.data)
+
+    @property
+    def containers_read(self) -> int:
+        """Distinct container reads issued against OSS."""
+        return self.counters.get("containers_read")
+
+    @property
+    def read_amplification(self) -> float:
+        """OSS bytes read per restored byte."""
+        if not self.data:
+            return 0.0
+        return self.counters.get("container_bytes_read") / len(self.data)
+
+    @property
+    def containers_per_100mb(self) -> float:
+        """Containers read per 100 MB restored (the paper's Fig 8 metric)."""
+        if not self.data:
+            return 0.0
+        return self.containers_read * (100 * (1 << 20)) / len(self.data)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Virtual job duration under the prefetching model."""
+        cpu = self.breakdown.cpu_seconds()
+        download = self.breakdown.download
+        if self.prefetch_threads >= 1:
+            return max(cpu, download / self.prefetch_threads)
+        return cpu + download
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Restore throughput in MB/s."""
+        elapsed = self.elapsed_seconds
+        if elapsed == 0:
+            return 0.0
+        return len(self.data) / elapsed / (1 << 20)
+
+
+class RestoreEngine:
+    """One L-node restore job."""
+
+    def __init__(
+        self,
+        config: SlimStoreConfig,
+        storage: StorageLayer,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.config = config
+        self.storage = storage
+        self.cost_model = cost_model or CostModel()
+
+    def restore(
+        self,
+        path: str,
+        version: int,
+        prefetch_threads: int | None = None,
+        verify: bool | None = None,
+    ) -> RestoreResult:
+        """Reassemble one backup version from OSS."""
+        threads = self.config.prefetch_threads if prefetch_threads is None else prefetch_threads
+        check = self.config.verify_restore if verify is None else verify
+        breakdown = TimeBreakdown()
+        counters = Counters()
+
+        before = self.storage.oss.stats.snapshot()
+        recipe = self.storage.recipes.get_recipe(path, version)
+        breakdown.charge("download", self.storage.oss.stats.diff(before).read_seconds)
+
+        records = recipe.all_records()
+        if not records:
+            return RestoreResult(path, version, b"", breakdown, counters, threads)
+
+        cbf = CountingBloomFilter(max(64, len(records)), false_positive_rate=0.001)
+        for record in records:
+            cbf.add(record.fp)
+        law = LookAheadWindow(records, self.config.law_window_records)
+        cache = FullVisionCache(
+            self.config.restore_cache_bytes,
+            self.config.restore_disk_cache_bytes,
+            cbf,
+            law,
+        )
+
+        output = bytearray()
+        containers_seen: set[int] = set()
+        for index, record in enumerate(records):
+            data = cache.lookup(record.fp)
+            if data is None:
+                data = self._fetch_for(record, cache, containers_seen, breakdown, counters)
+            if check:
+                breakdown.charge("other", self.cost_model.fingerprint_cost(len(data)))
+                if fingerprint(data) != record.fp:
+                    raise IntegrityError(
+                        f"chunk fingerprint mismatch restoring {path}@v{version} "
+                        f"(record {index})"
+                    )
+            output += data
+            breakdown.charge("other", self.cost_model.cpu_restore_per_byte * len(data))
+            cache.consume(record.fp)
+            law.advance_past(index)
+
+        counters.counts.update(cache.counters.counts)
+        return RestoreResult(path, version, bytes(output), breakdown, counters, threads)
+
+    # ------------------------------------------------------------------
+    def _fetch_for(
+        self,
+        record: ChunkRecord,
+        cache: FullVisionCache,
+        containers_seen: set[int],
+        breakdown: TimeBreakdown,
+        counters: Counters,
+    ) -> bytes:
+        """Read the record's container (redirecting if the chunk moved)."""
+        data = self._read_container(
+            record.container_id, record.fp, cache, containers_seen, breakdown, counters
+        )
+        if data is not None:
+            return data
+
+        # The chunk is gone from its recorded container: reverse dedup or
+        # SCC moved it.  The global index knows the current owner.
+        counters.add("global_index_redirects")
+        breakdown.charge("index_query", self.cost_model.cpu_index_query)
+        before = self.storage.oss.stats.snapshot()
+        owner = self.storage.global_index.lookup(record.fp)
+        breakdown.charge("download", self.storage.oss.stats.diff(before).read_seconds)
+        if owner is None:
+            raise RestoreError(
+                f"chunk {record.fp.hex()[:12]} missing from container "
+                f"{record.container_id} and unknown to the global index"
+            )
+        data = self._read_container(
+            owner, record.fp, cache, containers_seen, breakdown, counters
+        )
+        if data is None:
+            raise RestoreError(
+                f"global index points chunk {record.fp.hex()[:12]} at container "
+                f"{owner}, which does not hold it"
+            )
+        return data
+
+    def _read_container(
+        self,
+        container_id: int,
+        fp: bytes,
+        cache: FullVisionCache,
+        containers_seen: set[int],
+        breakdown: TimeBreakdown,
+        counters: Counters,
+    ) -> bytes | None:
+        """Whole-container read; inserts useful chunks into the cache."""
+        if not self.storage.containers.exists(container_id):
+            return None
+        before = self.storage.oss.stats.snapshot()
+        payload = self.storage.containers.read_data(container_id)
+        meta = self.storage.containers.read_meta(container_id, piggyback=True)
+        breakdown.charge("download", self.storage.oss.stats.diff(before).read_seconds)
+        counters.add("containers_read")
+        counters.add("container_bytes_read", len(payload))
+        if container_id in containers_seen:
+            counters.add("repeated_container_reads")
+        containers_seen.add(container_id)
+
+        cache.insert_container(meta, payload)
+        entry = meta.find(fp)
+        if entry is None or entry.deleted:
+            return None
+        return payload[entry.offset : entry.offset + entry.size]

@@ -1,0 +1,212 @@
+"""The full-vision restore cache with LAW-based prefetching (Section V-A).
+
+Three chunk statuses drive the replacement policy:
+
+* ``S_I`` — the chunk appears inside the look-ahead window: needed soon,
+  pinned in memory;
+* ``S_L`` — the chunk does not appear in the LAW but the per-file counting
+  Bloom filter says it is referenced again later: keep, demoting to the
+  L-node disk cache under memory pressure;
+* ``S_U`` — referenced neither in the LAW nor in the CBF: useless, never
+  inserted and evicted first.
+
+Because eviction only ever discards ``S_U`` chunks, every container is read
+from OSS at most once — the property the paper's Fig 8 relies on ("make
+sure all containers only be read once").
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+
+from repro.core.container import ContainerMeta
+from repro.core.recipe import ChunkRecord
+from repro.kvstore.bloom import CountingBloomFilter
+from repro.sim.metrics import Counters
+
+#: Chunk status names (exported for tests and documentation).
+STATUS_IN_WINDOW = "S_I"
+STATUS_LATER = "S_L"
+STATUS_USELESS = "S_U"
+
+
+class LookAheadWindow:
+    """A sliding window over the recipe's chunk-record sequence."""
+
+    def __init__(self, records: list[ChunkRecord], window: int) -> None:
+        if window < 1:
+            raise ValueError(f"LAW window must be >= 1, got {window}")
+        self._records = records
+        self._window = window
+        self._position = 0
+        self._counts: Counter[bytes] = Counter(
+            record.fp for record in records[:window]
+        )
+
+    def advance_past(self, index: int) -> None:
+        """Slide so the window covers ``[index+1, index+1+window)``."""
+        while self._position <= index:
+            leaving = self._records[self._position]
+            self._counts[leaving.fp] -= 1
+            if self._counts[leaving.fp] == 0:
+                del self._counts[leaving.fp]
+            entering_index = self._position + self._window
+            if entering_index < len(self._records):
+                self._counts[self._records[entering_index].fp] += 1
+            self._position += 1
+
+    def __contains__(self, fp: bytes) -> bool:
+        return self._counts.get(fp, 0) > 0
+
+    def upcoming_container_ids(self) -> list[int]:
+        """Distinct container ids referenced inside the window, in order."""
+        seen: list[int] = []
+        for record in self._records[self._position : self._position + self._window]:
+            if record.container_id not in seen:
+                seen.append(record.container_id)
+        return seen
+
+
+class FullVisionCache:
+    """Two-layer (memory + L-node disk) chunk cache with full vision."""
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        disk_bytes: int,
+        cbf: CountingBloomFilter,
+        law: LookAheadWindow,
+    ) -> None:
+        if memory_bytes <= 0:
+            raise ValueError("memory cache must have positive capacity")
+        self._memory: OrderedDict[bytes, bytes] = OrderedDict()
+        self._disk: OrderedDict[bytes, bytes] = OrderedDict()
+        self._memory_capacity = memory_bytes
+        self._disk_capacity = disk_bytes
+        self._memory_used = 0
+        self._disk_used = 0
+        self._cbf = cbf
+        self._law = law
+        self.counters = Counters()
+
+    # --- status ------------------------------------------------------------
+    def status_of(self, fp: bytes) -> str:
+        """Current status of a fingerprint under the full-vision policy."""
+        if fp in self._law:
+            return STATUS_IN_WINDOW
+        if self._cbf.count(fp) > 0:
+            return STATUS_LATER
+        return STATUS_USELESS
+
+    # --- lookup / consume -----------------------------------------------------
+    def lookup(self, fp: bytes) -> bytes | None:
+        """Chunk payload if cached (promoting disk-resident chunks)."""
+        data = self._memory.get(fp)
+        if data is not None:
+            self.counters.add("memory_hits")
+            return data
+        data = self._disk.pop(fp, None)
+        if data is not None:
+            self._disk_used -= len(data)
+            self.counters.add("disk_promotions")
+            self._insert_memory(fp, data)
+            return data
+        self.counters.add("cache_misses")
+        return None
+
+    def consume(self, fp: bytes) -> None:
+        """One reference to ``fp`` was restored: decrement its CBF count."""
+        try:
+            self._cbf.remove(fp)
+        except KeyError:
+            # A Bloom false positive elsewhere already consumed the slots.
+            self.counters.add("cbf_underflows")
+        if self.status_of(fp) == STATUS_USELESS:
+            self._drop(fp)
+
+    def _drop(self, fp: bytes) -> None:
+        data = self._memory.pop(fp, None)
+        if data is not None:
+            self._memory_used -= len(data)
+        data = self._disk.pop(fp, None)
+        if data is not None:
+            self._disk_used -= len(data)
+
+    # --- container insertion -----------------------------------------------------
+    def insert_container(self, meta: ContainerMeta, payload: bytes) -> int:
+        """Cache the useful chunks of a freshly read container.
+
+        Returns the number of chunks cached.  Only chunks with status
+        ``S_I`` or ``S_L`` are placed in the cache; useless chunks never
+        occupy space (the paper's "only useful chunk is placed").
+        """
+        inserted = 0
+        for entry in meta.entries:
+            if entry.deleted or entry.fp in self._memory or entry.fp in self._disk:
+                continue
+            status = self.status_of(entry.fp)
+            if status == STATUS_USELESS:
+                continue
+            data = payload[entry.offset : entry.offset + entry.size]
+            self._insert_memory(entry.fp, data)
+            inserted += 1
+        return inserted
+
+    # --- internal space management ---------------------------------------------------
+    def _insert_memory(self, fp: bytes, data: bytes) -> None:
+        self._make_room(len(data))
+        self._memory[fp] = data
+        self._memory_used += len(data)
+
+    def _make_room(self, needed: int) -> None:
+        if self._memory_used + needed <= self._memory_capacity:
+            return
+        # Pass 1: discard useless chunks (S_U).
+        for fp in list(self._memory):
+            if self._memory_used + needed <= self._memory_capacity:
+                return
+            if self.status_of(fp) == STATUS_USELESS:
+                data = self._memory.pop(fp)
+                self._memory_used -= len(data)
+                self.counters.add("evicted_useless")
+        # Pass 2: demote S_L chunks to the disk layer, oldest first.
+        for fp in list(self._memory):
+            if self._memory_used + needed <= self._memory_capacity:
+                return
+            if self.status_of(fp) == STATUS_LATER:
+                data = self._memory.pop(fp)
+                self._memory_used -= len(data)
+                self._demote_to_disk(fp, data)
+        # Pass 3 (extreme): even in-window chunks must go to disk.
+        for fp in list(self._memory):
+            if self._memory_used + needed <= self._memory_capacity:
+                return
+            data = self._memory.pop(fp)
+            self._memory_used -= len(data)
+            self._demote_to_disk(fp, data)
+            self.counters.add("evicted_in_window")
+
+    def _demote_to_disk(self, fp: bytes, data: bytes) -> None:
+        if self._disk_used + len(data) > self._disk_capacity:
+            # Disk full: drop the oldest disk-resident chunks.  These may
+            # need a repeated container read later (counted, so tests can
+            # assert it never happens at the configured sizes).
+            while self._disk and self._disk_used + len(data) > self._disk_capacity:
+                _, old = self._disk.popitem(last=False)
+                self._disk_used -= len(old)
+                self.counters.add("disk_evictions")
+        if self._disk_used + len(data) <= self._disk_capacity:
+            self._disk[fp] = data
+            self._disk_used += len(data)
+            self.counters.add("disk_demotions")
+
+    # --- introspection ----------------------------------------------------------------
+    @property
+    def memory_used(self) -> int:
+        """Bytes of chunk payload currently in the memory layer."""
+        return self._memory_used
+
+    @property
+    def disk_used(self) -> int:
+        """Bytes of chunk payload currently in the disk layer."""
+        return self._disk_used

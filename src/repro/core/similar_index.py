@@ -1,0 +1,123 @@
+"""The similar-file index (Section III-B).
+
+"Similar index stores the representative fingerprints of each file, which
+is used to find similar files.  According to Broder's theorem, ... if two
+files share some representative fingerprints, they are considered similar."
+
+Detection order follows Section IV-A, step 1: the latest historical version
+is found by file path first (cheap and usually right); only when that fails
+does the L-node sample the file header and vote over representative
+fingerprints.  The index is small and persisted to OSS after each backup so
+stateless L-nodes can always load the current view.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.fingerprint.hashing import FP_SIZE
+from repro.oss.object_store import ObjectStorageService
+
+_OBJECT_KEY = "similar/index"
+_HEADER = struct.Struct(">II")          # file count, representative count
+_NAME_ENTRY = struct.Struct(">HI")      # path length, latest version
+_REP_ENTRY = struct.Struct(">20sHI")    # fp, path length, version
+
+
+class SimilarFileIndex:
+    """Path → latest version plus representative fingerprint votes."""
+
+    def __init__(self, oss: ObjectStorageService, bucket: str = "slimstore") -> None:
+        self._oss = oss
+        self._bucket = bucket
+        self._latest: dict[str, int] = {}
+        self._by_rep: dict[bytes, tuple[str, int]] = {}
+        oss.create_bucket(bucket)
+
+    # --- queries -----------------------------------------------------------
+    def latest_version(self, path: str) -> int | None:
+        """Most recent backup version of ``path``, or None."""
+        return self._latest.get(path)
+
+    def find_similar(
+        self, sample_fps: Iterable[bytes], min_votes: int = 1
+    ) -> tuple[str, int] | None:
+        """The (path, version) sharing the most representative fingerprints.
+
+        Returns None when no candidate reaches ``min_votes`` shared
+        fingerprints — such files are backed up without a dedup base.
+        """
+        votes: Counter[tuple[str, int]] = Counter()
+        for fp in sample_fps:
+            owner = self._by_rep.get(fp)
+            if owner is not None:
+                votes[owner] += 1
+        if not votes:
+            return None
+        best, best_votes = votes.most_common(1)[0]
+        if best_votes < min_votes:
+            return None
+        return best
+
+    # --- updates ---------------------------------------------------------------
+    def register(self, path: str, version: int, representatives: Iterable[bytes]) -> None:
+        """Record a finished backup and persist the updated index to OSS."""
+        self._latest[path] = max(version, self._latest.get(path, version))
+        for fp in representatives:
+            self._by_rep[fp] = (path, version)
+        self._persist()
+
+    def forget_version(self, path: str, version: int) -> None:
+        """Drop representative entries pointing at a deleted version."""
+        stale = [
+            fp for fp, owner in self._by_rep.items() if owner == (path, version)
+        ]
+        for fp in stale:
+            del self._by_rep[fp]
+        if self._latest.get(path) == version:
+            del self._latest[path]
+        self._persist()
+
+    # --- persistence ------------------------------------------------------------
+    def _persist(self) -> None:
+        blob = bytearray(_HEADER.pack(len(self._latest), len(self._by_rep)))
+        for path, version in sorted(self._latest.items()):
+            encoded = path.encode()
+            blob += _NAME_ENTRY.pack(len(encoded), version)
+            blob += encoded
+        for fp, (path, version) in sorted(self._by_rep.items()):
+            encoded = path.encode()
+            blob += _REP_ENTRY.pack(fp, len(encoded), version)
+            blob += encoded
+        self._oss.put_object(self._bucket, _OBJECT_KEY, bytes(blob))
+
+    def load(self) -> bool:
+        """Reload state from OSS; True if an index object existed."""
+        if self._oss.peek_size(self._bucket, _OBJECT_KEY) is None:
+            return False
+        payload = self._oss.get_object(self._bucket, _OBJECT_KEY)
+        name_count, rep_count = _HEADER.unpack_from(payload, 0)
+        position = _HEADER.size
+        self._latest.clear()
+        self._by_rep.clear()
+        for _ in range(name_count):
+            path_len, version = _NAME_ENTRY.unpack_from(payload, position)
+            position += _NAME_ENTRY.size
+            path = payload[position : position + path_len].decode()
+            position += path_len
+            self._latest[path] = version
+        for _ in range(rep_count):
+            fp, path_len, version = _REP_ENTRY.unpack_from(payload, position)
+            position += _REP_ENTRY.size
+            path = payload[position : position + path_len].decode()
+            position += path_len
+            if len(fp) != FP_SIZE:
+                continue
+            self._by_rep[fp] = (path, version)
+        return True
+
+    def stored_bytes(self) -> int:
+        """Bytes of the persisted index object (free)."""
+        return self._oss.peek_size(self._bucket, _OBJECT_KEY) or 0

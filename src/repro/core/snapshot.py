@@ -1,0 +1,98 @@
+"""Snapshots: grouping one full-volume backup run across files.
+
+The paper's service scenario is "continuous backup requirements for
+full-volume data" — a user uploads the state of *all* their files at one
+point in time.  A snapshot records which version of each file belongs to
+one backup run, so a whole run can be restored or collected as a unit
+while the per-file machinery (recipes, versions, dedup) stays unchanged.
+
+Snapshot manifests are small JSON objects on OSS, so they survive process
+restarts together with the rest of the repository.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.oss.object_store import ObjectStorageService
+
+
+class SnapshotNotFoundError(ReproError, KeyError):
+    """The requested snapshot does not exist."""
+
+    def __init__(self, snapshot_id: str) -> None:
+        super().__init__(f"snapshot not found: {snapshot_id}")
+        self.snapshot_id = snapshot_id
+
+
+@dataclass
+class Snapshot:
+    """One full-volume backup run: file path → version number."""
+
+    snapshot_id: str
+    members: dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialise for the OSS manifest object."""
+        return json.dumps(
+            {"snapshot_id": self.snapshot_id, "members": self.members}
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Snapshot":
+        raw = json.loads(payload)
+        return cls(raw["snapshot_id"], {str(k): int(v) for k, v in raw["members"].items()})
+
+
+class SnapshotStore:
+    """Snapshot manifests on OSS, with ordered ids."""
+
+    PREFIX = "snapshots/"
+
+    def __init__(self, oss: ObjectStorageService, bucket: str = "slimstore") -> None:
+        self._oss = oss
+        self._bucket = bucket
+        self._next_id = 0
+        oss.create_bucket(bucket)
+
+    def recover(self) -> int:
+        """Resume the id sequence from OSS; returns live snapshot count."""
+        keys = self._oss.peek_keys(self._bucket, self.PREFIX)
+        if keys:
+            self._next_id = max(int(key[len(self.PREFIX):]) for key in keys) + 1
+        return len(keys)
+
+    def allocate_id(self) -> str:
+        """The next snapshot id (zero-padded so ids sort by time)."""
+        snapshot_id = f"{self._next_id:08d}"
+        self._next_id += 1
+        return snapshot_id
+
+    def put(self, snapshot: Snapshot) -> None:
+        """Persist a snapshot manifest."""
+        self._oss.put_object(
+            self._bucket,
+            self.PREFIX + snapshot.snapshot_id,
+            snapshot.to_json().encode(),
+        )
+
+    def get(self, snapshot_id: str) -> Snapshot:
+        """Load a snapshot manifest."""
+        try:
+            payload = self._oss.get_object(self._bucket, self.PREFIX + snapshot_id)
+        except KeyError as exc:
+            raise SnapshotNotFoundError(snapshot_id) from exc
+        return Snapshot.from_json(payload.decode())
+
+    def delete(self, snapshot_id: str) -> bool:
+        """Delete a snapshot manifest; True if it existed."""
+        return self._oss.delete_object(self._bucket, self.PREFIX + snapshot_id)
+
+    def list_ids(self) -> list[str]:
+        """All snapshot ids, oldest first."""
+        return sorted(
+            key[len(self.PREFIX):]
+            for key in self._oss.peek_keys(self._bucket, self.PREFIX)
+        )

@@ -1,0 +1,47 @@
+"""The storage layer as one bundle.
+
+Everything in this dataclass lives on OSS (Fig 1 of the paper): container
+store, recipe store, similar-file index and the global index.  Compute
+nodes receive the bundle; they hold no durable state of their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.container import ContainerStore
+from repro.core.global_index import GlobalIndex
+from repro.core.recipe import RecipeStore
+from repro.core.similar_index import SimilarFileIndex
+from repro.oss.object_store import ObjectStorageService
+
+
+@dataclass
+class StorageLayer:
+    """The OSS-resident storage layer shared by every compute node."""
+
+    oss: ObjectStorageService
+    containers: ContainerStore
+    recipes: RecipeStore
+    similar_index: SimilarFileIndex
+    global_index: GlobalIndex
+
+    @classmethod
+    def create(
+        cls,
+        oss: ObjectStorageService,
+        bucket: str = "slimstore",
+        index_bucket: str = "slimstore-index",
+        bloom_capacity: int = 1 << 20,
+        use_bloom: bool = True,
+    ) -> "StorageLayer":
+        """Create all stores on one OSS endpoint."""
+        return cls(
+            oss=oss,
+            containers=ContainerStore(oss, bucket),
+            recipes=RecipeStore(oss, bucket),
+            similar_index=SimilarFileIndex(oss, bucket),
+            global_index=GlobalIndex(
+                oss, index_bucket, bloom_capacity=bloom_capacity, use_bloom=use_bloom
+            ),
+        )

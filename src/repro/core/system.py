@@ -1,0 +1,375 @@
+"""The SLIMSTORE facade: storage layer + L-nodes + G-node + version catalog.
+
+:class:`SlimStore` is the public API of the reproduction.  One instance
+models one user's deployment: an OSS endpoint holding the storage layer,
+a pool of stateless L-nodes serving online jobs, and a G-node running
+offline space optimisation after every backup (when enabled).
+
+Version collection follows Section VI-B: the *mark* phase happens during
+deduplication (containers referenced by version N but not by N+1 are
+associated with version N as garbage candidates), so deleting a version
+only *sweeps* its pre-computed garbage list.  A global per-container
+reference count guards containers shared across files through similarity
+deduplication.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.config import SlimStoreConfig
+from repro.core.dedup import BackupResult
+from repro.core.gnode import CompactionReport, GNode, ReverseDedupReport
+from repro.core.lnode import LNode
+from repro.core.restore import RestoreResult
+from repro.core.snapshot import Snapshot, SnapshotStore
+from repro.core.storage import StorageLayer
+from repro.errors import VersionNotFoundError
+from repro.oss.object_store import ObjectStorageService
+from repro.sim.cost_model import CostModel
+
+
+@dataclass
+class BackupReport:
+    """One backup job plus the G-node work it triggered."""
+
+    result: BackupResult
+    reverse_dedup: ReverseDedupReport | None = None
+    compaction: CompactionReport | None = None
+
+    @property
+    def path(self) -> str:
+        """Backed-up file path."""
+        return self.result.path
+
+    @property
+    def version(self) -> int:
+        """Version number assigned to this backup."""
+        return self.result.version
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Online dedup throughput (G-node work is offline, excluded)."""
+        return self.result.throughput_mb_s
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Online deduplication ratio of this version."""
+        return self.result.dedup_ratio
+
+
+#: Restore reports are the engine results, re-exported for API symmetry.
+RestoreReport = RestoreResult
+
+
+@dataclass
+class SpaceReport:
+    """Bytes stored on OSS, split by component."""
+
+    container_bytes: int
+    recipe_bytes: int
+    global_index_bytes: int
+    similar_index_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """All backup-attributable bytes on OSS."""
+        return (
+            self.container_bytes
+            + self.recipe_bytes
+            + self.global_index_bytes
+            + self.similar_index_bytes
+        )
+
+
+class VersionCatalog:
+    """Live versions, per-version container references, garbage lists."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, list[int]] = {}
+        self._refs: dict[tuple[str, int], set[int]] = {}
+        self._garbage: dict[tuple[str, int], set[int]] = {}
+        self._refcount: Counter[int] = Counter()
+
+    # --- persistence ------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise the catalog (for durable repositories)."""
+        return json.dumps(
+            {
+                "versions": self._versions,
+                "refs": [
+                    [path, version, sorted(cids)]
+                    for (path, version), cids in sorted(self._refs.items())
+                ],
+                "garbage": [
+                    [path, version, sorted(cids)]
+                    for (path, version), cids in sorted(self._garbage.items())
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "VersionCatalog":
+        """Rebuild a catalog (reference counts are re-derived)."""
+        raw = json.loads(payload)
+        catalog = cls()
+        catalog._versions = {path: list(v) for path, v in raw["versions"].items()}
+        for path, version, cids in raw["refs"]:
+            catalog._refs[(path, version)] = set(cids)
+            for cid in cids:
+                catalog._refcount[cid] += 1
+        for path, version, cids in raw["garbage"]:
+            catalog._garbage[(path, version)] = set(cids)
+        return catalog
+
+    def register(self, path: str, version: int, referenced: set[int]) -> None:
+        """Mark phase: record references and diff against the predecessor."""
+        self._versions.setdefault(path, []).append(version)
+        self._refs[(path, version)] = set(referenced)
+        for cid in referenced:
+            self._refcount[cid] += 1
+        previous = (path, version - 1)
+        if previous in self._refs:
+            dropped = self._refs[previous] - referenced
+            if dropped:
+                self._garbage.setdefault(previous, set()).update(dropped)
+
+    def add_garbage(self, path: str, version: int, container_ids: list[int]) -> None:
+        """Associate extra garbage candidates (e.g. compacted sparse
+        containers) with a version."""
+        if container_ids:
+            self._garbage.setdefault((path, version), set()).update(container_ids)
+
+    def versions(self, path: str) -> list[int]:
+        """Live versions of ``path``, ascending."""
+        return sorted(self._versions.get(path, []))
+
+    def paths(self) -> list[str]:
+        """Every path with at least one live version, sorted."""
+        return sorted(path for path, live in self._versions.items() if live)
+
+    def drop_version(self, path: str, version: int) -> list[int]:
+        """Sweep phase: release references, return collectable containers."""
+        key = (path, version)
+        if key not in self._refs:
+            raise VersionNotFoundError(path, version)
+        self._versions[path].remove(version)
+        references = self._refs.pop(key)
+        for cid in references:
+            self._refcount[cid] -= 1
+        candidates = self._garbage.pop(key, set()) | references
+        return sorted(cid for cid in candidates if self._refcount[cid] <= 0)
+
+
+class SlimStore:
+    """A complete SLIMSTORE deployment (public API)."""
+
+    def __init__(
+        self,
+        config: SlimStoreConfig | None = None,
+        oss: ObjectStorageService | None = None,
+        cost_model: CostModel | None = None,
+        bucket: str = "slimstore",
+    ) -> None:
+        self.config = config or SlimStoreConfig()
+        self.cost_model = cost_model or CostModel()
+        self.oss = oss or ObjectStorageService(self.cost_model)
+        self.bucket = bucket
+        self.storage = StorageLayer.create(
+            self.oss,
+            bucket=bucket,
+            index_bucket=f"{bucket}-index",
+            bloom_capacity=self.config.global_bloom_capacity,
+            use_bloom=self.config.gdedup_bloom_filter,
+        )
+        self.lnodes = [
+            LNode(i, self.config, self.storage, self.cost_model)
+            for i in range(self.config.lnode_count)
+        ]
+        self.gnode = GNode(self.config, self.storage, self.cost_model)
+        self.catalog = VersionCatalog()
+        self.snapshots = SnapshotStore(self.oss, bucket)
+        self._next_lnode = 0
+
+    CATALOG_KEY = "catalog/state.json"
+
+    # --- durable repositories --------------------------------------------------
+    def recover(self) -> bool:
+        """Attach to an existing repository on this OSS endpoint.
+
+        Rebuilds every stateful component from storage: the container id
+        space, the similar-file index, the global index (with its Bloom
+        filter) and the version catalog.  Returns True if a catalog was
+        found (i.e. the repository had prior backups).
+        """
+        self.storage.containers.recover()
+        self.storage.similar_index.load()
+        self.storage.global_index.recover()
+        self.snapshots.recover()
+        payload = None
+        if self.oss.peek_size(self.bucket, self.CATALOG_KEY) is not None:
+            payload = self.oss.get_object(self.bucket, self.CATALOG_KEY)
+        if payload is None:
+            return False
+        self.catalog = VersionCatalog.from_json(payload.decode())
+        return True
+
+    def _persist_catalog(self) -> None:
+        self.oss.put_object(
+            self.bucket, self.CATALOG_KEY, self.catalog.to_json().encode()
+        )
+
+    # --- node scheduling ----------------------------------------------------
+    def _pick_lnode(self) -> LNode:
+        node = self.lnodes[self._next_lnode % len(self.lnodes)]
+        self._next_lnode += 1
+        return node
+
+    # --- public operations ------------------------------------------------------
+    def backup(
+        self,
+        path: str,
+        data: bytes,
+        run_gnode: bool = True,
+        rewrite_containers: set[int] | None = None,
+    ) -> BackupReport:
+        """Deduplicate and persist ``data`` as the next version of ``path``.
+
+        Runs the G-node's offline jobs afterwards unless ``run_gnode`` is
+        False (or the corresponding config switches are off).
+        """
+        node = self._pick_lnode()
+        result = node.backup(path, data, rewrite_containers=rewrite_containers)
+
+        reverse_report: ReverseDedupReport | None = None
+        compaction_report: CompactionReport | None = None
+        if run_gnode and self.config.reverse_dedup:
+            reverse_report = self.gnode.reverse_dedup(result.new_container_ids)
+        if run_gnode and self.config.sparse_compaction:
+            compaction_report = self.gnode.compact_sparse(result)
+
+        self.catalog.register(
+            path, result.version, result.recipe.referenced_containers()
+        )
+        if compaction_report is not None:
+            self.catalog.add_garbage(
+                path, result.version, compaction_report.sparse_containers
+            )
+        self._persist_catalog()
+        return BackupReport(result, reverse_report, compaction_report)
+
+    def restore(
+        self,
+        path: str,
+        version: int | None = None,
+        prefetch_threads: int | None = None,
+        verify: bool | None = None,
+    ) -> RestoreResult:
+        """Restore a backup version (latest when ``version`` is None)."""
+        if version is None:
+            live = self.catalog.versions(path)
+            if not live:
+                raise VersionNotFoundError(path)
+            version = live[-1]
+        node = self._pick_lnode()
+        return node.restore(path, version, prefetch_threads, verify)
+
+    def versions(self, path: str) -> list[int]:
+        """Live backup versions of ``path``."""
+        return self.catalog.versions(path)
+
+    # --- snapshots (full-volume backup runs) ------------------------------------
+    def backup_snapshot(
+        self, files: dict[str, bytes], run_gnode: bool = True
+    ) -> tuple[str, list[BackupReport]]:
+        """Back up one full-volume run: every file as its next version,
+        grouped under a snapshot id."""
+        snapshot = Snapshot(self.snapshots.allocate_id())
+        reports = []
+        for path in sorted(files):
+            report = self.backup(path, files[path], run_gnode=run_gnode)
+            snapshot.members[path] = report.version
+            reports.append(report)
+        self.snapshots.put(snapshot)
+        return snapshot.snapshot_id, reports
+
+    def restore_snapshot(
+        self, snapshot_id: str, prefetch_threads: int | None = None
+    ) -> dict[str, bytes]:
+        """Restore every file of a snapshot; returns path → bytes."""
+        snapshot = self.snapshots.get(snapshot_id)
+        return {
+            path: self.restore(path, version, prefetch_threads).data
+            for path, version in sorted(snapshot.members.items())
+        }
+
+    def delete_snapshot(self, snapshot_id: str) -> int:
+        """Collect one snapshot (must be the oldest, FIFO retention);
+        returns bytes reclaimed.
+
+        Each member version is collected when it is the oldest live
+        version of its path; members shared with newer snapshots (files
+        that did not change between runs) are left alone.
+        """
+        ids = self.snapshots.list_ids()
+        if not ids or snapshot_id != ids[0]:
+            raise VersionNotFoundError(f"snapshot:{snapshot_id}")
+        snapshot = self.snapshots.get(snapshot_id)
+        retained: set[tuple[str, int]] = set()
+        for other_id in ids[1:]:
+            other = self.snapshots.get(other_id)
+            retained.update(other.members.items())
+        reclaimed = 0
+        for path, version in sorted(snapshot.members.items()):
+            if (path, version) in retained:
+                continue
+            live = self.catalog.versions(path)
+            if live and live[0] == version:
+                reclaimed += self.delete_version(path, version)
+        self.snapshots.delete(snapshot_id)
+        return reclaimed
+
+    def delete_version(self, path: str, version: int) -> int:
+        """Collect one version; returns bytes reclaimed.
+
+        Only the oldest live version of a path may be deleted (FIFO
+        retention), which keeps the mark-and-sweep garbage lists valid.
+        """
+        live = self.catalog.versions(path)
+        if not live or version != live[0]:
+            raise VersionNotFoundError(path, version)
+        collectable = self.catalog.drop_version(path, version)
+        reclaimed = 0
+        for cid in collectable:
+            if self.storage.containers.exists(cid):
+                reclaimed += self.storage.containers.container_size(cid)
+                self.storage.containers.delete(cid)
+        self.storage.recipes.delete_recipe(path, version)
+        if self.storage.similar_index.latest_version(path) == version:
+            # The newest version is being retired entirely (last one left).
+            self.storage.similar_index.forget_version(path, version)
+        self._persist_catalog()
+        return reclaimed
+
+    # --- maintenance -----------------------------------------------------------
+    def scrub(self):
+        """Verify repository integrity (containers + every live recipe).
+
+        Returns a :class:`~repro.core.scrub.ScrubReport`; read-only.
+        """
+        from repro.core.scrub import RepositoryScrubber
+
+        live = {path: self.catalog.versions(path) for path in self.catalog.paths()}
+        return RepositoryScrubber(self.storage).scrub(live)
+
+    # --- accounting ---------------------------------------------------------------
+    def space_report(self) -> SpaceReport:
+        """Current OSS space usage by component (free, no virtual time)."""
+        return SpaceReport(
+            container_bytes=self.storage.containers.stored_bytes(),
+            recipe_bytes=self.storage.recipes.stored_bytes(),
+            global_index_bytes=self.storage.global_index.stored_bytes(),
+            similar_index_bytes=self.storage.similar_index.stored_bytes(),
+        )

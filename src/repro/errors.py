@@ -1,0 +1,63 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries while tests can assert on precise
+subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ObjectNotFoundError(ReproError, KeyError):
+    """An OSS object (or a range of it) does not exist."""
+
+    def __init__(self, bucket: str, key: str) -> None:
+        super().__init__(f"object not found: oss://{bucket}/{key}")
+        self.bucket = bucket
+        self.key = key
+
+
+class BucketNotFoundError(ReproError, KeyError):
+    """The named OSS bucket was never created."""
+
+    def __init__(self, bucket: str) -> None:
+        super().__init__(f"bucket not found: {bucket}")
+        self.bucket = bucket
+
+
+class ChunkingError(ReproError):
+    """A chunker was misconfigured or fed inconsistent state."""
+
+
+class RecipeError(ReproError):
+    """A recipe or recipe index is malformed or references missing data."""
+
+
+class ContainerError(ReproError):
+    """A container or its metadata is malformed."""
+
+
+class RestoreError(ReproError):
+    """A restore job could not reassemble the requested backup."""
+
+
+class IntegrityError(RestoreError):
+    """Restored bytes failed fingerprint verification."""
+
+
+class KVStoreError(ReproError):
+    """The LSM key-value store hit an inconsistent state."""
+
+
+class VersionNotFoundError(ReproError, KeyError):
+    """The requested backup version does not exist for this file."""
+
+    def __init__(self, path: str, version: int | None = None) -> None:
+        what = f"{path}@v{version}" if version is not None else path
+        super().__init__(f"backup version not found: {what}")
+        self.path = path
+        self.version = version

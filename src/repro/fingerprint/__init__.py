@@ -1,0 +1,14 @@
+"""Fingerprinting, sampling and similarity detection."""
+
+from repro.fingerprint.hashing import FP_SIZE, fingerprint
+from repro.fingerprint.sampling import is_sampled, sample_fingerprints
+from repro.fingerprint.similarity import jaccard_resemblance, representative_fingerprints
+
+__all__ = [
+    "FP_SIZE",
+    "fingerprint",
+    "is_sampled",
+    "sample_fingerprints",
+    "jaccard_resemblance",
+    "representative_fingerprints",
+]

@@ -1,0 +1,23 @@
+"""Chunk fingerprints.
+
+The paper fingerprints chunks with a cryptographically secure hash (SHA-1
+or SHA-256) and treats equal fingerprints as equal content.  We default to
+SHA-1, whose 20-byte digests also match the paper's recipe layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Size in bytes of a fingerprint digest.
+FP_SIZE = 20
+
+
+def fingerprint(data: bytes | memoryview) -> bytes:
+    """SHA-1 digest of ``data`` — the identity of a chunk."""
+    return hashlib.sha1(data).digest()
+
+
+def fingerprint_hex(data: bytes | memoryview) -> str:
+    """Hex form of :func:`fingerprint`, for logs and object keys."""
+    return hashlib.sha1(data).hexdigest()

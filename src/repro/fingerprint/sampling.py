@@ -1,0 +1,27 @@
+"""mod-R fingerprint sampling.
+
+The paper uses "the straightforward random sampling method adopted in many
+deduplication works, which selects the fingerprints that mod R = 0 in a
+segment, where R is an adjustable parameter to control the sampling ratio"
+(Section IV-A).  Because fingerprints are uniform hashes, taking the first
+eight bytes modulo R yields an unbiased 1/R sample that is identical across
+backups — the property that makes similar-segment matching work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def is_sampled(fp: bytes, ratio: int) -> bool:
+    """True if ``fp`` falls into the 1-in-``ratio`` deterministic sample."""
+    if ratio < 1:
+        raise ValueError(f"sampling ratio must be >= 1, got {ratio}")
+    if ratio == 1:
+        return True
+    return int.from_bytes(fp[:8], "big") % ratio == 0
+
+
+def sample_fingerprints(fps: Iterable[bytes], ratio: int) -> list[bytes]:
+    """The sampled subset of ``fps``, preserving order."""
+    return [fp for fp in fps if is_sampled(fp, ratio)]

@@ -1,0 +1,34 @@
+"""Similarity detection per Broder's theorem.
+
+"According to Broder's theorem, the similarity of the full set is highly
+dependent on the similarity of two randomly sampled subsets.  A file can be
+considered as a set of fingerprints, so if two files share some
+representative fingerprints, they are considered similar" (Section III-B).
+The representative fingerprints here are the k minimum fingerprints
+(min-hash), the classic unbiased resemblance sketch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def representative_fingerprints(fps: Iterable[bytes], count: int = 8) -> list[bytes]:
+    """The ``count`` smallest distinct fingerprints — a min-hash sketch."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return sorted(set(fps))[:count]
+
+
+def jaccard_resemblance(left: Iterable[bytes], right: Iterable[bytes]) -> float:
+    """Jaccard resemblance |L ∩ R| / |L ∪ R| of two fingerprint sets."""
+    left_set, right_set = set(left), set(right)
+    union = left_set | right_set
+    if not union:
+        return 1.0
+    return len(left_set & right_set) / len(union)
+
+
+def sketch_overlap(left: Iterable[bytes], right: Iterable[bytes]) -> int:
+    """Number of shared representative fingerprints (the similarity vote)."""
+    return len(set(left) & set(right))

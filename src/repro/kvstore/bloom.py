@@ -1,0 +1,128 @@
+"""Bloom filters: plain and counting.
+
+The plain filter fronts SSTable lookups (and G-node's global-dedup
+prefilter, Section VI-A of the paper); the counting variant is the backbone
+of the full-vision restore cache (Section V-A), which needs per-chunk
+reference counts that decrement as chunks are restored.
+
+Hashing uses blake2b with distinct salts, giving deterministic, well-mixed
+hash functions without any randomness at construction time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from array import array
+from collections.abc import Iterable
+
+
+def _hash(item: bytes, seed: int, modulus: int) -> int:
+    digest = hashlib.blake2b(item, digest_size=8, salt=seed.to_bytes(8, "big")).digest()
+    return int.from_bytes(digest, "big") % modulus
+
+
+def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
+    """(bit count, hash count) minimising memory at the target FP rate."""
+    if expected_items <= 0:
+        raise ValueError(f"expected_items must be positive, got {expected_items}")
+    if not 0 < false_positive_rate < 1:
+        raise ValueError(f"false_positive_rate must be in (0, 1): {false_positive_rate}")
+    bits = math.ceil(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2))
+    hashes = max(1, round(bits / expected_items * math.log(2)))
+    return max(8, bits), hashes
+
+
+class BloomFilter:
+    """A standard Bloom filter over byte-string items."""
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01) -> None:
+        self._bits, self._hashes = optimal_parameters(expected_items, false_positive_rate)
+        self._array = bytearray((self._bits + 7) // 8)
+        self._count = 0
+
+    def add(self, item: bytes) -> None:
+        """Insert ``item``."""
+        for seed in range(self._hashes):
+            position = _hash(item, seed, self._bits)
+            self._array[position >> 3] |= 1 << (position & 7)
+        self._count += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        for seed in range(self._hashes):
+            position = _hash(item, seed, self._bits)
+            if not self._array[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def update(self, items: Iterable[bytes]) -> None:
+        """Insert every item of an iterable."""
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bit_count(self) -> int:
+        """Number of bits backing this filter."""
+        return self._bits
+
+    # --- serialisation (SSTables persist their filter to OSS) ------------
+    def to_bytes(self) -> bytes:
+        header = (
+            self._bits.to_bytes(8, "big")
+            + self._hashes.to_bytes(2, "big")
+            + self._count.to_bytes(8, "big")
+        )
+        return header + bytes(self._array)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BloomFilter":
+        filt = cls.__new__(cls)
+        filt._bits = int.from_bytes(payload[0:8], "big")
+        filt._hashes = int.from_bytes(payload[8:10], "big")
+        filt._count = int.from_bytes(payload[10:18], "big")
+        filt._array = bytearray(payload[18:])
+        if len(filt._array) != (filt._bits + 7) // 8:
+            raise ValueError("corrupt bloom filter payload")
+        return filt
+
+
+class CountingBloomFilter:
+    """Bloom filter with per-slot counters supporting remove and count query.
+
+    The restore cache uses it to answer two questions about a fingerprint:
+    "does this chunk appear again later in the recipe?" and "roughly how
+    many references remain?".  Counts are estimates (minimum over the
+    item's slots), exact enough because decrement mirrors increment.
+    """
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01) -> None:
+        self._slots, self._hashes = optimal_parameters(expected_items, false_positive_rate)
+        self._counters = array("L", bytes(array("L").itemsize * self._slots))
+
+    def add(self, item: bytes, times: int = 1) -> None:
+        """Add ``times`` references to ``item``."""
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        for seed in range(self._hashes):
+            self._counters[_hash(item, seed, self._slots)] += times
+
+    def remove(self, item: bytes) -> None:
+        """Drop one reference; removing an absent item is an error."""
+        positions = [_hash(item, seed, self._slots) for seed in range(self._hashes)]
+        if any(self._counters[p] == 0 for p in positions):
+            raise KeyError(f"item not present in counting bloom filter: {item!r}")
+        for position in positions:
+            self._counters[position] -= 1
+
+    def count(self, item: bytes) -> int:
+        """Upper-bound estimate of remaining references to ``item``."""
+        return min(
+            self._counters[_hash(item, seed, self._slots)]
+            for seed in range(self._hashes)
+        )
+
+    def __contains__(self, item: bytes) -> bool:
+        return self.count(item) > 0

@@ -1,0 +1,22 @@
+"""Simulated Object Storage Service (OSS).
+
+The paper stores everything — containers, recipes, indexes — on Alibaba
+OSS.  This package provides an in-process object store with the same API
+surface (buckets, whole-object and ranged GET, PUT, DELETE, LIST) and a
+cost-model hook so every request charges realistic virtual latency and
+bandwidth.  ``OssFileSystem`` layers a file-like API on top, mirroring the
+OSSFS tool the paper uses to point restic at OSS.
+"""
+
+from repro.oss.backend import FilesystemBackend, InMemoryBackend, StorageBackend
+from repro.oss.object_store import ObjectStorageService, OssStats
+from repro.oss.ossfs import OssFileSystem
+
+__all__ = [
+    "StorageBackend",
+    "InMemoryBackend",
+    "FilesystemBackend",
+    "ObjectStorageService",
+    "OssStats",
+    "OssFileSystem",
+]

@@ -1,0 +1,119 @@
+"""Byte-storage backends behind the simulated OSS.
+
+The object store itself only deals in keys and byte strings; where those
+bytes physically live is a backend concern.  ``InMemoryBackend`` is the
+default for tests and benchmarks, ``FilesystemBackend`` persists objects
+under a directory for the examples that want durable state.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from pathlib import Path
+
+
+class StorageBackend(ABC):
+    """Minimal key → bytes storage contract used by the object store."""
+
+    @abstractmethod
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key``, overwriting any previous value."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes | None:
+        """Return the bytes stored under ``key`` or None if absent."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; return True if it existed."""
+
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Iterate over all stored keys in sorted order."""
+
+    @abstractmethod
+    def size(self, key: str) -> int | None:
+        """Byte length of the object under ``key`` or None if absent."""
+
+    def contains(self, key: str) -> bool:
+        """True if ``key`` currently holds an object."""
+        return self.size(key) is not None
+
+
+class InMemoryBackend(StorageBackend):
+    """Dictionary-backed storage; the default for simulation runs."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, bytes] = {}
+
+    def put(self, key: str, data: bytes) -> None:
+        self._objects[key] = bytes(data)
+
+    def get(self, key: str) -> bytes | None:
+        return self._objects.get(key)
+
+    def delete(self, key: str) -> bool:
+        return self._objects.pop(key, None) is not None
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._objects))
+
+    def size(self, key: str) -> int | None:
+        data = self._objects.get(key)
+        return None if data is None else len(data)
+
+    def total_bytes(self) -> int:
+        """Sum of all stored object sizes (handy for space accounting)."""
+        return sum(len(data) for data in self._objects.values())
+
+
+class FilesystemBackend(StorageBackend):
+    """Stores each object as a file under a root directory.
+
+    Keys may contain ``/`` which map to subdirectories.  Used by examples
+    that want backups to survive process restarts.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if key.startswith("/") or ".." in key.split("/"):
+            raise ValueError(f"unsafe object key: {key!r}")
+        return self._root / key
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def get(self, key: str) -> bytes | None:
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        return path.read_bytes()
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        if not path.is_file():
+            return False
+        path.unlink()
+        return True
+
+    def keys(self) -> Iterator[str]:
+        found = []
+        for path in self._root.rglob("*"):
+            if path.is_file() and not path.name.endswith(".tmp"):
+                found.append(path.relative_to(self._root).as_posix())
+        return iter(sorted(found))
+
+    def size(self, key: str) -> int | None:
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        return path.stat().st_size

@@ -1,0 +1,209 @@
+"""The simulated Object Storage Service.
+
+Mirrors the API shape of Alibaba OSS / Amazon S3 at the granularity the
+paper's system needs: buckets holding immutable objects, whole and ranged
+reads, and multi-channel parallel GETs.  Every request charges virtual time
+(latency + size/bandwidth) through the cost model and records traffic in
+:class:`OssStats`, which is where the read-amplification and bandwidth
+numbers in the restore experiments come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BucketNotFoundError, ObjectNotFoundError
+from repro.oss.backend import InMemoryBackend, StorageBackend
+from repro.sim.clock import SimClock
+from repro.sim.cost_model import CostModel
+
+
+@dataclass
+class OssStats:
+    """Cumulative traffic accounting for one OSS endpoint."""
+
+    get_requests: int = 0
+    put_requests: int = 0
+    delete_requests: int = 0
+    list_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_seconds: float = 0.0
+    write_seconds: float = 0.0
+
+    def snapshot(self) -> "OssStats":
+        """An independent copy, for before/after diffing in experiments."""
+        return OssStats(**vars(self))
+
+    def diff(self, earlier: "OssStats") -> "OssStats":
+        """Traffic accrued since ``earlier`` was snapshotted."""
+        return OssStats(
+            **{name: getattr(self, name) - getattr(earlier, name) for name in vars(self)}
+        )
+
+
+class ObjectStorageService:
+    """Bucketed object storage with a virtual-time cost model.
+
+    Parameters
+    ----------
+    cost_model:
+        Prices for request latency and bandwidth.  Defaults to the
+        calibrated model in :mod:`repro.sim.cost_model`.
+    clock:
+        Virtual clock charged by every request.  A private clock is created
+        when none is supplied, so the store is usable standalone.
+    backend_factory:
+        Callable creating the byte storage for each new bucket.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        clock: SimClock | None = None,
+        backend_factory=InMemoryBackend,
+    ) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.clock = clock or SimClock()
+        self.stats = OssStats()
+        self._backend_factory = backend_factory
+        self._buckets: dict[str, StorageBackend] = {}
+
+    # --- bucket management -------------------------------------------------
+    def create_bucket(self, bucket: str) -> None:
+        """Create ``bucket``; creating an existing bucket is a no-op.
+
+        The backend factory may accept the bucket name (so durable
+        backends can give each bucket its own directory) or no arguments.
+        """
+        if bucket not in self._buckets:
+            try:
+                backend = self._backend_factory(bucket)
+            except TypeError:
+                backend = self._backend_factory()
+            self._buckets[bucket] = backend
+
+    def bucket_names(self) -> list[str]:
+        """Names of all buckets, sorted."""
+        return sorted(self._buckets)
+
+    def _backend(self, bucket: str) -> StorageBackend:
+        backend = self._buckets.get(bucket)
+        if backend is None:
+            raise BucketNotFoundError(bucket)
+        return backend
+
+    # --- object operations ---------------------------------------------------
+    def put_object(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        channels: int = 1,
+        piggyback: bool = False,
+    ) -> None:
+        """Upload ``data``; charges latency + size/bandwidth.
+
+        ``piggyback`` marks a small companion object written on the same
+        connection as the preceding PUT (e.g. container metadata next to
+        its payload): only bandwidth is charged, not another round trip.
+        """
+        backend = self._backend(bucket)
+        backend.put(key, data)
+        seconds = len(data) / min(
+            self.cost_model.oss_write_bandwidth * channels,
+            self.cost_model.node_nic_bandwidth,
+        )
+        if not piggyback:
+            seconds += self.cost_model.oss_request_latency
+        self.clock.advance(seconds)
+        self.stats.put_requests += 1
+        self.stats.bytes_written += len(data)
+        self.stats.write_seconds += seconds
+
+    def get_object(
+        self, bucket: str, key: str, channels: int = 1, piggyback: bool = False
+    ) -> bytes:
+        """Download a whole object; raises ObjectNotFoundError if missing.
+
+        ``piggyback`` marks a small companion read on the same connection
+        as the preceding GET (bandwidth cost only, no extra round trip).
+        """
+        backend = self._backend(bucket)
+        data = backend.get(key)
+        if data is None:
+            raise ObjectNotFoundError(bucket, key)
+        self._charge_read(len(data), channels, piggyback)
+        return data
+
+    def get_range(
+        self, bucket: str, key: str, offset: int, length: int, channels: int = 1
+    ) -> bytes:
+        """Ranged GET of ``length`` bytes starting at ``offset``."""
+        backend = self._backend(bucket)
+        data = backend.get(key)
+        if data is None:
+            raise ObjectNotFoundError(bucket, key)
+        if offset < 0 or length < 0 or offset + length > len(data):
+            raise ValueError(
+                f"range [{offset}, {offset + length}) outside object of "
+                f"{len(data)} bytes: oss://{bucket}/{key}"
+            )
+        self._charge_read(length, channels)
+        return data[offset : offset + length]
+
+    def delete_object(self, bucket: str, key: str) -> bool:
+        """Delete ``key``; returns True if it existed."""
+        backend = self._backend(bucket)
+        existed = backend.delete(key)
+        self.clock.advance(self.cost_model.oss_request_latency)
+        self.stats.delete_requests += 1
+        return existed
+
+    def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
+        """Sorted keys in ``bucket`` starting with ``prefix``."""
+        backend = self._backend(bucket)
+        self.clock.advance(self.cost_model.oss_request_latency)
+        self.stats.list_requests += 1
+        return [key for key in backend.keys() if key.startswith(prefix)]
+
+    def head_object(self, bucket: str, key: str) -> int | None:
+        """Size of ``key`` in bytes, or None if absent (no payload cost)."""
+        backend = self._backend(bucket)
+        self.clock.advance(self.cost_model.oss_request_latency)
+        return backend.size(key)
+
+    def object_exists(self, bucket: str, key: str) -> bool:
+        """True if ``key`` holds an object (charges one request latency)."""
+        return self.head_object(bucket, key) is not None
+
+    # --- accounting ---------------------------------------------------------
+    def peek_size(self, bucket: str, key: str) -> int | None:
+        """Object size without charging any virtual time (accounting only)."""
+        return self._backend(bucket).size(key)
+
+    def peek_keys(self, bucket: str, prefix: str = "") -> list[str]:
+        """Keys under ``prefix`` without charging time (accounting only)."""
+        backend = self._backend(bucket)
+        return [key for key in backend.keys() if key.startswith(prefix)]
+
+    def bucket_bytes(self, bucket: str) -> int:
+        """Total stored bytes in ``bucket`` (accounting only, free)."""
+        backend = self._backend(bucket)
+        return sum(backend.size(key) or 0 for key in backend.keys())
+
+    def total_bytes(self) -> int:
+        """Total stored bytes across all buckets (accounting only, free)."""
+        return sum(self.bucket_bytes(name) for name in self._buckets)
+
+    def _charge_read(self, nbytes: int, channels: int, piggyback: bool = False) -> None:
+        seconds = nbytes / min(
+            self.cost_model.oss_read_bandwidth * channels,
+            self.cost_model.node_nic_bandwidth,
+        )
+        if not piggyback:
+            seconds += self.cost_model.oss_request_latency
+        self.clock.advance(seconds)
+        self.stats.get_requests += 1
+        self.stats.bytes_read += nbytes
+        self.stats.read_seconds += seconds

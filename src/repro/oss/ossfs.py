@@ -1,0 +1,68 @@
+"""OSSFS: a file-system facade over the object store.
+
+The paper's restic comparison mounts OSS "like the local file system" with
+the OSSFS tool.  This adapter reproduces that arrangement: path-style
+reads/writes translate one-to-one into OSS requests, so a system written
+against a local filesystem (the restic model) inherits OSS latency for every
+file touch — which is precisely why its shared index serialises so badly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ObjectNotFoundError
+from repro.oss.object_store import ObjectStorageService
+
+
+class OssFileSystem:
+    """File-like operations, each backed by one or more OSS requests."""
+
+    def __init__(self, oss: ObjectStorageService, bucket: str) -> None:
+        self._oss = oss
+        self._bucket = bucket
+        oss.create_bucket(bucket)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Write a whole file (one OSS PUT)."""
+        self._oss.put_object(self._bucket, self._normalize(path), data)
+
+    def read_file(self, path: str) -> bytes:
+        """Read a whole file (one OSS GET); FileNotFoundError if absent."""
+        try:
+            return self._oss.get_object(self._bucket, self._normalize(path))
+        except ObjectNotFoundError as exc:
+            raise FileNotFoundError(path) from exc
+
+    def read_range(self, path: str, offset: int, length: int) -> bytes:
+        """Ranged read (one OSS ranged GET)."""
+        try:
+            return self._oss.get_range(
+                self._bucket, self._normalize(path), offset, length
+            )
+        except ObjectNotFoundError as exc:
+            raise FileNotFoundError(path) from exc
+
+    def delete_file(self, path: str) -> bool:
+        """Delete a file; True if it existed."""
+        return self._oss.delete_object(self._bucket, self._normalize(path))
+
+    def exists(self, path: str) -> bool:
+        """True if the file exists (one OSS HEAD)."""
+        return self._oss.object_exists(self._bucket, self._normalize(path))
+
+    def list_dir(self, path: str) -> list[str]:
+        """Sorted paths under the directory ``path`` (one OSS LIST)."""
+        prefix = self._normalize(path)
+        if prefix and not prefix.endswith("/"):
+            prefix += "/"
+        return self._oss.list_objects(self._bucket, prefix)
+
+    def file_size(self, path: str) -> int:
+        """Size in bytes; FileNotFoundError if absent."""
+        size = self._oss.head_object(self._bucket, self._normalize(path))
+        if size is None:
+            raise FileNotFoundError(path)
+        return size
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        return path.lstrip("/")

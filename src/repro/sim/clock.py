@@ -1,0 +1,44 @@
+"""A monotonic virtual clock.
+
+The clock only moves when a component explicitly charges time to it, which
+keeps simulated results independent of host speed and fully deterministic.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic virtual time in seconds.
+
+    >>> clock = SimClock()
+    >>> clock.advance(1.5)
+    >>> clock.now
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start in the past: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward; negative durations are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}s")
+        self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump forward to ``timestamp``; jumping backwards is rejected."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = timestamp
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

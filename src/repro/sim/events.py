@@ -1,0 +1,90 @@
+"""A minimal discrete-event simulation kernel.
+
+The scalability experiments mostly use closed-form arithmetic
+(:mod:`repro.bench.scaling`); this kernel exists to *cross-validate* that
+arithmetic with an explicit event-driven schedule — jobs arriving at a
+cluster, queueing for node slots, sharing NIC bandwidth — and to support
+scenarios the closed forms cannot express (heterogeneous job sizes,
+staggered arrivals).
+
+The kernel is deliberately tiny: a time-ordered event queue and a
+``SlotResource`` with FIFO queueing.  Processes are plain callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventLoop:
+    """A time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: {delay}")
+        heapq.heappush(
+            self._queue, _Event(self.now + delay, next(self._sequence), action)
+        )
+
+    def run(self) -> float:
+        """Drain the queue; returns the completion time."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            self.now = event.time
+            event.action()
+        return self.now
+
+
+class SlotResource:
+    """A counted resource (e.g. job slots on one node) with FIFO queueing."""
+
+    def __init__(self, loop: EventLoop, slots: int) -> None:
+        if slots < 1:
+            raise ValueError(f"need at least one slot, got {slots}")
+        self._loop = loop
+        self._free = slots
+        self._waiting: list[Callable[[], None]] = []
+        self.capacity = slots
+
+    def acquire(self, on_granted: Callable[[], None]) -> None:
+        """Request one slot; ``on_granted`` fires when it is available."""
+        if self._free > 0:
+            self._free -= 1
+            self._loop.schedule(0.0, on_granted)
+        else:
+            self._waiting.append(on_granted)
+
+    def release(self) -> None:
+        """Return one slot, handing it to the next waiter if any."""
+        if self._waiting:
+            self._loop.schedule(0.0, self._waiting.pop(0))
+        else:
+            self._free += 1
+            if self._free > self.capacity:
+                raise RuntimeError("released more slots than acquired")
+
+    @property
+    def busy(self) -> int:
+        """Slots currently held."""
+        return self.capacity - self._free
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiting)

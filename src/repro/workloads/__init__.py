@@ -1,0 +1,27 @@
+"""Synthetic backup workloads matched to the paper's datasets (Table I).
+
+* **S-DB** — "a set of database files, and each table is simulated by the
+  insert, update, and delete operations.  By adjusting parameters, we can
+  control the percentage of the modified data, thereby varying the
+  duplication ratio of each table file between versions from 0.65 to 0.95."
+* **R-Data** — "a real backup dataset of an enterprise", of which only the
+  summary statistics are published (13 versions, 7440 files, dup ratio
+  0.92, 0.1% self-reference); we generate a workload matched to them.
+
+Both generators are fully seeded and scale-parameterised: experiments run
+at laptop scale (MBs) while preserving the ratios the paper reports.
+"""
+
+from repro.workloads.base import BackupFile, DatasetSummary, DatasetVersion
+from repro.workloads.sdb import SDBConfig, SDBGenerator
+from repro.workloads.rdata import RDataConfig, RDataGenerator
+
+__all__ = [
+    "BackupFile",
+    "DatasetVersion",
+    "DatasetSummary",
+    "SDBConfig",
+    "SDBGenerator",
+    "RDataConfig",
+    "RDataGenerator",
+]

@@ -1,0 +1,83 @@
+"""Shared dataset structures and mutation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class BackupFile:
+    """One file of one backup version."""
+
+    path: str
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        """File length in bytes."""
+        return len(self.data)
+
+
+@dataclass
+class DatasetVersion:
+    """One full-volume backup version: every file at a point in time."""
+
+    version: int
+    files: list[BackupFile] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical size of this version."""
+        return sum(item.size for item in self.files)
+
+
+@dataclass
+class DatasetSummary:
+    """The Table I characteristics of a generated dataset."""
+
+    name: str
+    total_bytes: int
+    version_count: int
+    file_count: int
+    average_duplication_ratio: float
+    self_reference: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(label, value) pairs formatted like the paper's Table I."""
+        return [
+            ("Dataset name", self.name),
+            ("Total size (MB)", f"{self.total_bytes / (1 << 20):.2f}"),
+            ("# of versions", str(self.version_count)),
+            ("# of files", str(self.file_count)),
+            ("Average duplication ratio", f"{self.average_duplication_ratio:.2f}"),
+            ("Self-reference", f"{self.self_reference:.1%}"),
+        ]
+
+
+def random_block(rng: np.random.Generator, size: int) -> bytes:
+    """Uniformly random bytes — incompressible, dedupe-hostile content."""
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def overwrite_ranges(
+    rng: np.random.Generator,
+    data: bytearray,
+    target_bytes: int,
+    run_bytes: int,
+) -> int:
+    """Overwrite ~``target_bytes`` in clustered runs; returns bytes changed.
+
+    Database-style mutation: changes arrive as a few contiguous runs
+    (updated page ranges), not as uniformly scattered single bytes.
+    """
+    if not data or target_bytes <= 0:
+        return 0
+    changed = 0
+    while changed < target_bytes:
+        run = min(run_bytes, target_bytes - changed, len(data))
+        start = int(rng.integers(0, max(1, len(data) - run)))
+        data[start : start + run] = random_block(rng, run)
+        changed += run
+    return changed

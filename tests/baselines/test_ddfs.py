@@ -1,0 +1,97 @@
+"""Tests for the DDFS-style exact deduplication baseline."""
+
+import pytest
+
+from repro.baselines.ddfs import DDFSSystem
+from repro.core.config import SlimStoreConfig
+from repro.oss.object_store import ObjectStorageService
+from tests.conftest import mutate, random_bytes
+
+CONFIG = SlimStoreConfig(container_bytes=64 * 1024, segment_bytes=32 * 1024)
+
+
+@pytest.fixture
+def ddfs() -> DDFSSystem:
+    return DDFSSystem(ObjectStorageService(), CONFIG)
+
+
+class TestExactDedup:
+    def test_first_backup_stores_everything(self, ddfs, rng):
+        data = random_bytes(rng, 128 * 1024)
+        result = ddfs.backup("f", data)
+        assert result.dedup_ratio == 0.0
+        assert result.stored_chunk_bytes == len(data)
+
+    def test_identical_backup_is_fully_deduplicated(self, ddfs, rng):
+        data = random_bytes(rng, 256 * 1024)
+        ddfs.backup("f", data)
+        result = ddfs.backup("f", data)
+        assert result.dedup_ratio == 1.0
+
+    def test_exact_across_unrelated_paths(self, ddfs, rng):
+        """Unlike similarity-based systems, DDFS finds every duplicate
+        regardless of file naming or ordering."""
+        data = random_bytes(rng, 128 * 1024)
+        ddfs.backup("a", data)
+        result = ddfs.backup("totally/unrelated", data)
+        assert result.dedup_ratio == 1.0
+
+    def test_intra_stream_duplicates(self, ddfs, rng):
+        block = random_bytes(rng, 64 * 1024)
+        result = ddfs.backup("f", block + block + block)
+        assert result.dedup_ratio > 0.6
+
+    def test_exact_beats_similarity_dedup_on_scattered_change(self, rng):
+        """DDFS never misses; SLIMSTORE's fast path may.  Exactness is
+        DDFS's selling point, throughput is its weakness."""
+        from repro import SlimStore
+
+        data = random_bytes(rng, 512 * 1024)
+        changed = mutate(rng, data, runs=6, run_bytes=4096)
+        ddfs = DDFSSystem(ObjectStorageService(), CONFIG)
+        slim = SlimStore(
+            CONFIG.with_overrides(reverse_dedup=False, sparse_compaction=False)
+        )
+        ddfs.backup("f", data)
+        slim.backup("f", data)
+        exact = ddfs.backup("f", changed)
+        fast = slim.backup("f", changed)
+        assert exact.dedup_ratio >= fast.dedup_ratio - 0.01
+
+
+class TestLocalityCache:
+    def test_bloom_skips_unique_chunks(self, ddfs, rng):
+        result = ddfs.backup("f", random_bytes(rng, 128 * 1024))
+        # All chunks unique: the Bloom filter answered for (almost) all.
+        assert result.counters.get("index_reads") <= 2  # rare false positives
+
+    def test_locality_absorbs_index_reads(self, ddfs, rng):
+        data = random_bytes(rng, 256 * 1024)
+        ddfs.backup("f", data)
+        # Drop the in-RAM cache to force cold lookups, then re-backup:
+        # one index read per container (not per chunk) thanks to
+        # locality-preserved caching.
+        ddfs._cache.clear()
+        ddfs._cached_containers.clear()
+        result = ddfs.backup("f", data)
+        chunks = result.counters.get("dup_chunks")
+        reads = result.counters.get("index_reads")
+        containers = result.counters.get("container_meta_loads")
+        assert reads <= containers + 2
+        assert reads < chunks / 4
+
+    def test_cache_eviction_bounded(self, rng):
+        ddfs = DDFSSystem(ObjectStorageService(), CONFIG, cache_containers=2)
+        ddfs.backup("f", random_bytes(rng, 512 * 1024))
+        assert len(ddfs._cached_containers) <= 2
+
+    def test_remote_index_slows_cold_dedup(self, ddfs, rng):
+        """The paper's argument: frequent on-OSS index access is onerous.
+        A cold-cache DDFS pass spends visible download time on lookups."""
+        data = random_bytes(rng, 256 * 1024)
+        ddfs.backup("f", data)
+        ddfs._cache.clear()
+        ddfs._cached_containers.clear()
+        ddfs._index.flush()  # push the index out of the memtable
+        result = ddfs.backup("f", data)
+        assert result.breakdown.download > 0

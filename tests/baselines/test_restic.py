@@ -1,0 +1,93 @@
+"""Tests for the restic repository model."""
+
+import pytest
+
+from repro.baselines.restic import ResticRepository
+from repro.errors import RestoreError
+from repro.oss.object_store import ObjectStorageService
+from tests.conftest import mutate, random_bytes
+
+
+@pytest.fixture
+def repo() -> ResticRepository:
+    return ResticRepository(
+        ObjectStorageService(), chunk_avg=16 * 1024, pack_bytes=256 * 1024
+    )
+
+
+class TestBackup:
+    def test_first_backup_stores_everything(self, repo, rng):
+        data = random_bytes(rng, 256 * 1024)
+        result = repo.backup("f", data)
+        assert result.stored_chunk_bytes == len(data)
+        assert result.counters.get("packs_written") >= 1
+
+    def test_identical_backup_stores_nothing(self, repo, rng):
+        data = random_bytes(rng, 256 * 1024)
+        repo.backup("f", data)
+        result = repo.backup("f", data)
+        assert result.stored_chunk_bytes == 0
+        assert result.dedup_ratio == 1.0
+
+    def test_incremental_amplified_by_large_chunks(self, repo, rng):
+        data = random_bytes(rng, 256 * 1024)
+        repo.backup("f", data)
+        changed = mutate(rng, data, runs=1, run_bytes=1024)
+        result = repo.backup("f", changed)
+        # One 1 KB edit costs at least a whole chunk (~16 KB average).
+        assert result.stored_chunk_bytes >= 4 * 1024
+
+    def test_serial_seconds_tracked(self, repo, rng):
+        result = repo.backup("f", random_bytes(rng, 128 * 1024))
+        assert 0 < result.serial_seconds <= result.breakdown.elapsed_serialized()
+
+    def test_cross_file_dedup_via_global_index(self, repo, rng):
+        data = random_bytes(rng, 128 * 1024)
+        repo.backup("a", data)
+        result = repo.backup("b", data)
+        assert result.stored_chunk_bytes == 0
+
+
+class TestRestore:
+    def test_roundtrip(self, repo, rng):
+        data = random_bytes(rng, 300 * 1024)
+        result = repo.backup("f", data)
+        restored = repo.restore(result.snapshot_id)
+        assert restored.data == data
+        assert restored.counters.get("blob_reads") > 0
+
+    def test_multiple_snapshots_roundtrip(self, repo, rng):
+        data = random_bytes(rng, 256 * 1024)
+        snapshots = []
+        payloads = []
+        for _ in range(4):
+            payloads.append(data)
+            snapshots.append(repo.backup("f", data).snapshot_id)
+            data = mutate(rng, data, runs=2, run_bytes=8 * 1024)
+        for snapshot_id, payload in zip(snapshots, payloads):
+            assert repo.restore(snapshot_id).data == payload
+
+    def test_missing_blob_raises(self, repo, rng):
+        data = random_bytes(rng, 64 * 1024)
+        result = repo.backup("f", data)
+        repo.fs.write_file("index/index", b"")  # wipe the index
+        with pytest.raises(RestoreError):
+            repo.restore(result.snapshot_id)
+
+    def test_throughput_positive(self, repo, rng):
+        result = repo.backup("f", random_bytes(rng, 128 * 1024))
+        restored = repo.restore(result.snapshot_id)
+        assert restored.throughput_mb_s > 0
+
+
+class TestAccounting:
+    def test_stored_bytes_counts_packs_only(self, repo, rng):
+        data = random_bytes(rng, 256 * 1024)
+        repo.backup("f", data)
+        assert repo.stored_bytes() == pytest.approx(len(data), rel=0.01)
+
+    def test_index_grows_with_unique_chunks(self, repo, rng):
+        repo.backup("a", random_bytes(rng, 128 * 1024))
+        first = repo._index_entry_count
+        repo.backup("b", random_bytes(rng, 128 * 1024))
+        assert repo._index_entry_count > first

@@ -1,0 +1,91 @@
+"""Tests for BoundarySet cut-point semantics."""
+
+import numpy as np
+import pytest
+
+from repro.chunking.base import BoundarySet, ChunkerParams
+from repro.errors import ChunkingError
+
+PARAMS = ChunkerParams(1024, 4096, 32768)
+
+
+def boundary_set(length: int, positions, strict=None) -> BoundarySet:
+    return BoundarySet(
+        length,
+        PARAMS,
+        np.asarray(positions, dtype=np.int64),
+        None if strict is None else np.asarray(strict, dtype=np.int64),
+    )
+
+
+class TestNextCut:
+    def test_first_candidate_after_min(self):
+        bset = boundary_set(100000, [500, 2000, 6000])
+        # 500 is below start+min (1024); 2000 is the first admissible.
+        assert bset.next_cut(0) == 2000
+
+    def test_falls_back_to_max(self):
+        bset = boundary_set(100000, [])
+        assert bset.next_cut(0) == PARAMS.max_size
+
+    def test_end_of_buffer_always_cut(self):
+        bset = boundary_set(3000, [])
+        assert bset.next_cut(0) == 3000
+        assert bset.next_cut(2999) == 3000
+
+    def test_strict_preferred_before_avg(self):
+        # Permissive candidate at 2000, strict at 3000: strict phase scans
+        # (min, avg] and takes 3000 even though 2000 is earlier.
+        bset = boundary_set(100000, [2000, 3000], strict=[3000])
+        assert bset.next_cut(0) == 3000
+
+    def test_permissive_used_after_avg(self):
+        # No strict candidate in (min, avg]; a permissive at 6000 wins.
+        bset = boundary_set(100000, [6000], strict=[])
+        assert bset.next_cut(0) == 6000
+
+    def test_out_of_range_start_rejected(self):
+        bset = boundary_set(1000, [])
+        with pytest.raises(ChunkingError):
+            bset.next_cut(1000)
+        with pytest.raises(ChunkingError):
+            bset.next_cut(-1)
+
+    def test_relative_to_start(self):
+        bset = boundary_set(100000, [2000, 12000])
+        assert bset.next_cut(10000) == 12000
+
+
+class TestIsCut:
+    def test_accepts_candidate_in_bounds(self):
+        bset = boundary_set(100000, [3000], strict=[3000])
+        assert bset.is_cut(0, 3000)
+
+    def test_rejects_non_candidate(self):
+        bset = boundary_set(100000, [3000], strict=[3000])
+        assert not bset.is_cut(0, 2999)
+
+    def test_rejects_below_min(self):
+        bset = boundary_set(100000, [500], strict=[500])
+        assert not bset.is_cut(0, 500)
+
+    def test_max_size_always_admissible(self):
+        bset = boundary_set(100000, [])
+        assert bset.is_cut(0, PARAMS.max_size)
+
+    def test_eof_always_admissible(self):
+        bset = boundary_set(2000, [])
+        assert bset.is_cut(0, 2000)
+        assert bset.is_cut(1999, 2000)
+
+    def test_eof_beyond_max_rejected(self):
+        bset = boundary_set(PARAMS.max_size + 10, [])
+        assert not bset.is_cut(0, PARAMS.max_size + 10)
+
+    def test_strict_required_at_or_below_avg(self):
+        # 3000 <= avg: the strict set decides; only permissive -> reject.
+        bset = boundary_set(100000, [3000], strict=[])
+        assert not bset.is_cut(0, 3000)
+        # 6000 > avg: the permissive set decides.
+        bset2 = boundary_set(100000, [6000], strict=[])
+        assert bset2.is_cut(0, 6000)

@@ -1,0 +1,173 @@
+"""Tests shared across every chunking algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking import (
+    ChunkerParams,
+    FastCDCChunker,
+    FixedChunker,
+    GearChunker,
+    RabinChunker,
+    make_chunker,
+)
+from repro.errors import ChunkingError
+from tests.conftest import mutate, random_bytes
+
+CDC_CLASSES = [RabinChunker, GearChunker, FastCDCChunker]
+ALL_CLASSES = CDC_CLASSES + [FixedChunker]
+PARAMS = ChunkerParams(1024, 4096, 32768)
+
+
+def data_1mb() -> bytes:
+    return random_bytes(np.random.default_rng(7), 1 << 20)
+
+
+class TestChunkerParams:
+    def test_defaults_valid(self):
+        params = ChunkerParams()
+        assert params.min_size <= params.avg_size <= params.max_size
+
+    def test_rejects_disordered_sizes(self):
+        with pytest.raises(ChunkingError):
+            ChunkerParams(8192, 4096, 32768)
+
+    def test_rejects_non_power_of_two_avg(self):
+        with pytest.raises(ChunkingError):
+            ChunkerParams(1024, 5000, 32768)
+
+    def test_scaled_keeps_shape(self):
+        params = ChunkerParams().scaled(16384)
+        assert params.avg_size == 16384
+        assert params.min_size == 4096
+        assert params.max_size == 16384 * 8
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES)
+class TestPartitioning:
+    def test_chunks_partition_input(self, cls):
+        data = data_1mb()
+        chunks = cls(PARAMS).chunk(data)
+        assert b"".join(chunk.data for chunk in chunks) == data
+        # Offsets are contiguous.
+        position = 0
+        for chunk in chunks:
+            assert chunk.start == position
+            position = chunk.end
+        assert position == len(data)
+
+    def test_deterministic(self, cls):
+        data = data_1mb()
+        chunker = cls(PARAMS)
+        first = [(c.start, c.end) for c in chunker.chunk(data)]
+        second = [(c.start, c.end) for c in chunker.chunk(data)]
+        assert first == second
+
+    def test_size_bounds_respected(self, cls):
+        chunker = cls(PARAMS)
+        chunks = chunker.chunk(data_1mb())
+        for chunk in chunks[:-1]:
+            assert chunker.params.min_size <= chunk.size <= chunker.params.max_size
+        assert chunks[-1].size <= chunker.params.max_size
+
+    def test_empty_input(self, cls):
+        assert cls(PARAMS).chunk(b"") == []
+
+    def test_tiny_input_single_chunk(self, cls):
+        data = b"short data"
+        chunks = cls(PARAMS).chunk(data)
+        assert len(chunks) == 1
+        assert chunks[0].data == data
+
+
+@pytest.mark.parametrize("cls", CDC_CLASSES)
+class TestContentDefinedProperties:
+    def test_average_near_target(self, cls):
+        chunks = cls(PARAMS).chunk(data_1mb())
+        average = (1 << 20) / len(chunks)
+        assert PARAMS.avg_size * 0.5 <= average <= PARAMS.avg_size * 3
+
+    def test_boundary_shift_resilience(self, cls):
+        """Inserting one byte must preserve most chunk content (the
+        boundary-shift problem CDC exists to solve)."""
+        data = data_1mb()
+        shifted = data[: 1 << 19] + b"!" + data[1 << 19 :]
+        original = {bytes(c.data) for c in cls(PARAMS).chunk(data)}
+        after = {bytes(c.data) for c in cls(PARAMS).chunk(shifted)}
+        assert len(original & after) / len(original) > 0.9
+
+    def test_localized_change_localized_damage(self, cls):
+        rng = np.random.default_rng(3)
+        data = data_1mb()
+        changed = mutate(rng, data, runs=1, run_bytes=4096)
+        original = {bytes(c.data) for c in cls(PARAMS).chunk(data)}
+        after = {bytes(c.data) for c in cls(PARAMS).chunk(changed)}
+        # One 4 KB mutation invalidates only a handful of chunks.
+        assert len(after - original) <= 6
+
+    def test_is_cut_accepts_real_boundaries(self, cls):
+        data = data_1mb()
+        chunker = cls(PARAMS)
+        boundary_set = chunker.boundaries(data)
+        for chunk in chunker.chunk(data):
+            assert boundary_set.is_cut(chunk.start, chunk.end)
+
+    def test_is_cut_rejects_wrong_sizes(self, cls):
+        data = data_1mb()
+        boundary_set = cls(PARAMS).boundaries(data)
+        assert not boundary_set.is_cut(0, PARAMS.min_size - 1)
+        assert not boundary_set.is_cut(0, PARAMS.max_size + 1)
+        assert not boundary_set.is_cut(100, 100)
+
+
+class TestFixedChunker:
+    def test_cuts_exact_multiples(self):
+        chunker = FixedChunker(ChunkerParams(4096, 4096, 4096))
+        chunks = chunker.chunk(b"x" * 10000)
+        assert [c.size for c in chunks] == [4096, 4096, 10000 - 8192]
+
+    def test_boundary_shift_hurts_fixed(self):
+        data = data_1mb()
+        shifted = b"!" + data
+        chunker = FixedChunker(ChunkerParams(4096, 4096, 4096))
+        original = {bytes(c.data) for c in chunker.chunk(data)}
+        after = {bytes(c.data) for c in chunker.chunk(shifted)}
+        # Every chunk boundary moved: almost nothing survives.
+        assert len(original & after) / len(original) < 0.05
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("rabin", RabinChunker), ("gear", GearChunker),
+         ("fastcdc", FastCDCChunker), ("fixed", FixedChunker)],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_chunker(name, PARAMS), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ChunkingError):
+            make_chunker("quantum")
+
+    def test_window_guard(self):
+        with pytest.raises(ValueError):
+            RabinChunker(ChunkerParams(16, 4096, 32768))
+        with pytest.raises(ValueError):
+            GearChunker(ChunkerParams(16, 4096, 32768))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31), size=st.integers(0, 1 << 16))
+@settings(max_examples=20, deadline=None)
+def test_fastcdc_partitions_any_input(seed, size):
+    data = random_bytes(np.random.default_rng(seed), size)
+    chunks = FastCDCChunker(ChunkerParams(256, 1024, 8192)).chunk(data)
+    assert b"".join(c.data for c in chunks) == data
+
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=30, deadline=None)
+def test_gear_partitions_arbitrary_bytes(payload):
+    chunks = GearChunker(ChunkerParams(64, 256, 2048)).chunk(payload)
+    assert b"".join(c.data for c in chunks) == payload

@@ -1,0 +1,88 @@
+"""Tests for the history-aware chunk merging policy."""
+
+import pytest
+
+from repro.chunking.superchunk import MergePolicy
+from repro.core.recipe import ChunkRecord
+
+KB = 1024
+
+
+def record(size=8 * KB, duplicate_times=5, is_duplicate=True, is_superchunk=False):
+    return ChunkRecord(
+        fp=b"\x01" * 20,
+        container_id=0,
+        size=size,
+        duplicate_times=duplicate_times,
+        is_superchunk=is_superchunk,
+        first_fp=b"\x02" * 20 if is_superchunk else b"",
+        first_size=4 * KB if is_superchunk else 0,
+        is_duplicate=is_duplicate,
+    )
+
+
+@pytest.fixture
+def policy() -> MergePolicy:
+    return MergePolicy(
+        threshold=5, min_superchunk_bytes=16 * KB, max_superchunk_bytes=64 * KB
+    )
+
+
+class TestQualification:
+    def test_qualifying_record(self, policy):
+        assert policy.record_qualifies(record())
+
+    def test_below_threshold_rejected(self, policy):
+        assert not policy.record_qualifies(record(duplicate_times=4))
+
+    def test_unique_rejected(self, policy):
+        assert not policy.record_qualifies(record(is_duplicate=False))
+
+    def test_existing_superchunk_rejected(self, policy):
+        assert not policy.record_qualifies(record(is_superchunk=True))
+
+    def test_disabled_policy_rejects_all(self):
+        policy = MergePolicy(enabled=False)
+        assert not policy.record_qualifies(record())
+        assert policy.plan_merge_runs([record()] * 10) == []
+
+
+class TestRunPlanning:
+    def test_merges_long_run(self, policy):
+        records = [record() for _ in range(4)]  # 32 KB total
+        assert policy.plan_merge_runs(records) == [(0, 4)]
+
+    def test_short_run_skipped(self, policy):
+        records = [record(size=4 * KB)]  # below min_superchunk_bytes
+        assert policy.plan_merge_runs(records) == []
+
+    def test_run_split_at_max(self, policy):
+        records = [record(size=16 * KB) for _ in range(6)]  # 96 KB run
+        runs = policy.plan_merge_runs(records)
+        assert runs == [(0, 4), (4, 6)]
+        for start, end in runs:
+            total = sum(r.size for r in records[start:end])
+            assert 16 * KB <= total <= 64 * KB
+
+    def test_non_qualifying_breaks_run(self, policy):
+        records = [record(), record(), record(duplicate_times=1), record(), record()]
+        runs = policy.plan_merge_runs(records)
+        assert runs == [(0, 2), (3, 5)]
+
+    def test_tail_remainder_below_min_dropped(self, policy):
+        records = [record(size=16 * KB) for _ in range(4)] + [record(size=4 * KB)]
+        runs = policy.plan_merge_runs(records)
+        assert runs == [(0, 4)]
+
+    def test_empty_input(self, policy):
+        assert policy.plan_merge_runs([]) == []
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MergePolicy(threshold=0)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            MergePolicy(min_superchunk_bytes=1024, max_superchunk_bytes=512)

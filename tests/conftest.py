@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the unit and integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oss.object_store import ObjectStorageService
+from repro.sim.clock import SimClock
+from repro.sim.cost_model import CostModel
+
+
+@pytest.fixture
+def oss() -> ObjectStorageService:
+    """A fresh simulated OSS endpoint."""
+    return ObjectStorageService(CostModel(), SimClock())
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded random generator for deterministic test data."""
+    return np.random.default_rng(12345)
+
+
+def random_bytes(rng: np.random.Generator, size: int) -> bytes:
+    """Uniformly random (incompressible) test payload."""
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def mutate(rng: np.random.Generator, data: bytes, runs: int, run_bytes: int) -> bytes:
+    """Overwrite ``runs`` clustered ranges of ``data`` with fresh bytes."""
+    out = bytearray(data)
+    for _ in range(runs):
+        run = min(run_bytes, len(out))
+        start = int(rng.integers(0, max(1, len(out) - run)))
+        out[start : start + run] = random_bytes(rng, run)
+    return bytes(out)

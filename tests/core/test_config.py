@@ -1,0 +1,67 @@
+"""Tests for SlimStoreConfig validation and derived views."""
+
+import pytest
+
+from repro.core.config import SlimStoreConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = SlimStoreConfig()
+        assert config.chunk_avg_size == 4096
+
+    def test_rejects_non_power_of_two_chunk(self):
+        with pytest.raises(ValueError):
+            SlimStoreConfig(chunk_avg_size=5000)
+
+    def test_rejects_tiny_segment(self):
+        with pytest.raises(ValueError):
+            SlimStoreConfig(segment_bytes=1024, chunk_avg_size=4096)
+
+    def test_rejects_tiny_container(self):
+        with pytest.raises(ValueError):
+            SlimStoreConfig(container_bytes=1024, chunk_avg_size=4096)
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            SlimStoreConfig(sparse_utilization_threshold=0.0)
+        with pytest.raises(ValueError):
+            SlimStoreConfig(container_rewrite_threshold=1.0)
+
+    def test_rejects_zero_lnodes(self):
+        with pytest.raises(ValueError):
+            SlimStoreConfig(lnode_count=0)
+
+    def test_rejects_negative_prefetch(self):
+        with pytest.raises(ValueError):
+            SlimStoreConfig(prefetch_threads=-1)
+
+
+class TestDerivedViews:
+    def test_chunker_params_shape(self):
+        params = SlimStoreConfig(chunk_avg_size=8192).chunker_params()
+        assert params.avg_size == 8192
+        assert params.min_size == 2048
+        assert params.max_size == 8192 * 8
+
+    def test_merge_policy_mirrors_config(self):
+        config = SlimStoreConfig(chunk_merging=False, merge_threshold=7)
+        policy = config.merge_policy()
+        assert policy.enabled is False
+        assert policy.threshold == 7
+
+    def test_effective_sample_ratio_shrinks_with_chunk_size(self):
+        small_chunks = SlimStoreConfig(chunk_avg_size=4096)
+        big_chunks = SlimStoreConfig(chunk_avg_size=65536, segment_bytes=128 * 1024)
+        assert big_chunks.effective_sample_ratio() < small_chunks.effective_sample_ratio()
+        assert big_chunks.effective_sample_ratio() >= 1
+
+    def test_with_overrides(self):
+        config = SlimStoreConfig()
+        updated = config.with_overrides(skip_chunking=False)
+        assert updated.skip_chunking is False
+        assert config.skip_chunking is True  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SlimStoreConfig().chunker = "rabin"

@@ -1,0 +1,193 @@
+"""Tests for containers, metadata and the container store."""
+
+import pytest
+
+from repro.core.container import ChunkLocation, ContainerMeta, ContainerStore
+from repro.errors import ContainerError
+from repro.fingerprint.hashing import fingerprint
+
+
+@pytest.fixture
+def store(oss) -> ContainerStore:
+    return ContainerStore(oss, "bucket")
+
+
+def fill(builder, chunks: list[bytes]):
+    entries = []
+    for payload in chunks:
+        entries.append(builder.add_chunk(fingerprint(payload), payload))
+    return entries
+
+
+class TestContainerMeta:
+    def test_find_by_fingerprint(self):
+        meta = ContainerMeta(1)
+        meta.add(ChunkLocation(b"\x01" * 20, 0, 100))
+        assert meta.find(b"\x01" * 20).size == 100
+        assert meta.find(b"\x02" * 20) is None
+
+    def test_accounting_excludes_aliases(self):
+        meta = ContainerMeta(1)
+        meta.add(ChunkLocation(b"\x01" * 20, 0, 100))
+        meta.add(ChunkLocation(b"\x02" * 20, 0, 40, alias=True))
+        assert meta.total_chunks() == 1
+        assert meta.live_bytes() == 100
+        assert len(meta.live_lookup_entries()) == 2
+
+    def test_mark_deleted(self):
+        meta = ContainerMeta(1)
+        meta.add(ChunkLocation(b"\x01" * 20, 0, 100))
+        assert meta.mark_deleted(b"\x01" * 20) is True
+        assert meta.mark_deleted(b"\x01" * 20) is False
+        assert meta.live_chunks() == 0
+        assert meta.stale_fraction() == 1.0
+
+    def test_mark_deleted_keeps_alias_alive(self):
+        meta = ContainerMeta(1)
+        meta.add(ChunkLocation(b"\x01" * 20, 0, 100))
+        meta.add(ChunkLocation(b"\x02" * 20, 0, 40, alias=True))
+        meta.mark_deleted(b"\x01" * 20)
+        alias = meta.find(b"\x02" * 20)
+        assert not alias.deleted
+
+    def test_serialisation_roundtrip(self):
+        meta = ContainerMeta(7)
+        meta.add(ChunkLocation(b"\x01" * 20, 0, 100))
+        meta.add(ChunkLocation(b"\x02" * 20, 100, 50, deleted=True))
+        meta.add(ChunkLocation(b"\x03" * 20, 0, 25, alias=True))
+        restored = ContainerMeta.from_bytes(meta.to_bytes())
+        assert restored.container_id == 7
+        assert restored.total_chunks() == 2
+        assert restored.find(b"\x02" * 20).deleted
+        assert restored.find(b"\x03" * 20).alias
+
+    def test_bad_fingerprint_length_rejected(self):
+        meta = ContainerMeta(1)
+        meta.add(ChunkLocation(b"short", 0, 10))
+        with pytest.raises(ContainerError):
+            meta.to_bytes()
+
+
+class TestContainerBuilder:
+    def test_capacity_tracking(self, store):
+        builder = store.new_builder(1000)
+        fill(builder, [b"a" * 600])
+        assert not builder.is_full()
+        fill(builder, [b"b" * 500])
+        assert builder.is_full()
+        assert builder.payload_bytes == 1100
+
+    def test_alias_bounds_checked(self, store):
+        builder = store.new_builder(1000)
+        fill(builder, [b"a" * 100])
+        with pytest.raises(ContainerError):
+            builder.add_alias(b"\x01" * 20, 50, 100)
+
+    def test_ids_are_unique(self, store):
+        first = store.new_builder(100)
+        second = store.new_builder(100)
+        assert first.container_id != second.container_id
+
+
+class TestContainerStore:
+    def test_write_and_read(self, store):
+        builder = store.new_builder(1 << 20)
+        payloads = [b"alpha" * 100, b"beta" * 200]
+        fill(builder, payloads)
+        store.write(builder)
+        cid = builder.container_id
+        assert store.exists(cid)
+        data = store.read_data(cid)
+        meta = store.read_meta(cid)
+        entry = meta.find(fingerprint(payloads[0]))
+        assert data[entry.offset : entry.offset + entry.size] == payloads[0]
+
+    def test_empty_write_rejected(self, store):
+        with pytest.raises(ContainerError):
+            store.write(store.new_builder(100))
+
+    def test_read_chunk_ranged(self, store):
+        builder = store.new_builder(1 << 20)
+        fill(builder, [b"first" * 10, b"second" * 10])
+        store.write(builder)
+        assert store.read_chunk(builder.container_id, fingerprint(b"second" * 10)) == b"second" * 10
+        assert store.read_chunk(builder.container_id, b"\x00" * 20) is None
+
+    def test_delete(self, store):
+        builder = store.new_builder(100)
+        fill(builder, [b"x"])
+        store.write(builder)
+        assert store.delete(builder.container_id) is True
+        assert not store.exists(builder.container_id)
+        assert store.delete(builder.container_id) is False
+
+    def test_stored_bytes(self, store):
+        builder = store.new_builder(1 << 20)
+        fill(builder, [b"x" * 1000])
+        store.write(builder)
+        assert store.stored_bytes() == 1000
+
+    def test_rewrite_drops_deleted(self, store):
+        builder = store.new_builder(1 << 20)
+        payloads = [b"keep" * 100, b"drop" * 100, b"stay" * 100]
+        fill(builder, payloads)
+        store.write(builder)
+        cid = builder.container_id
+        meta = store.read_meta(cid)
+        meta.mark_deleted(fingerprint(b"drop" * 100))
+        store.update_meta(meta)
+
+        reclaimed = store.rewrite(cid)
+        assert reclaimed == 400
+        new_meta = store.read_meta(cid)
+        assert new_meta.find(fingerprint(b"drop" * 100)) is None
+        data = store.read_data(cid)
+        entry = new_meta.find(fingerprint(b"stay" * 100))
+        assert data[entry.offset : entry.offset + entry.size] == b"stay" * 100
+
+    def test_rewrite_rebases_alias_with_live_owner(self, store):
+        builder = store.new_builder(1 << 20)
+        fill(builder, [b"padding" * 50])
+        sc_payload = b"superchunk-data" * 40
+        entry = builder.add_chunk(fingerprint(sc_payload), sc_payload)
+        builder.add_alias(b"\x07" * 20, entry.offset, 15)
+        store.write(builder)
+        cid = builder.container_id
+        meta = store.read_meta(cid)
+        meta.mark_deleted(fingerprint(b"padding" * 50))
+        store.update_meta(meta)
+
+        store.rewrite(cid)
+        new_meta = store.read_meta(cid)
+        alias = new_meta.find(b"\x07" * 20)
+        data = store.read_data(cid)
+        assert data[alias.offset : alias.offset + alias.size] == sc_payload[:15]
+
+    def test_rewrite_materialises_orphan_alias(self, store):
+        builder = store.new_builder(1 << 20)
+        sc_payload = b"superchunk-data" * 40
+        entry = builder.add_chunk(fingerprint(sc_payload), sc_payload)
+        builder.add_alias(b"\x07" * 20, entry.offset, 15)
+        store.write(builder)
+        cid = builder.container_id
+        meta = store.read_meta(cid)
+        meta.mark_deleted(fingerprint(sc_payload))
+        store.update_meta(meta)
+
+        store.rewrite(cid)
+        new_meta = store.read_meta(cid)
+        alias = new_meta.find(b"\x07" * 20)
+        assert alias is not None and not alias.alias  # promoted to a chunk
+        data = store.read_data(cid)
+        assert data[alias.offset : alias.offset + alias.size] == sc_payload[:15]
+
+    def test_rewrite_to_empty_deletes_container(self, store):
+        builder = store.new_builder(1 << 20)
+        fill(builder, [b"only" * 10])
+        store.write(builder)
+        cid = builder.container_id
+        meta = store.read_meta(cid)
+        meta.mark_deleted(fingerprint(b"only" * 10))
+        store.update_meta(meta)
+        store.rewrite(cid)
+        assert not store.exists(cid)

@@ -1,0 +1,175 @@
+"""Tests for the look-ahead window and the full-vision cache."""
+
+import pytest
+
+from repro.core.container import ChunkLocation, ContainerMeta
+from repro.core.recipe import ChunkRecord
+from repro.core.restore_cache import (
+    STATUS_IN_WINDOW,
+    STATUS_LATER,
+    STATUS_USELESS,
+    FullVisionCache,
+    LookAheadWindow,
+)
+from repro.fingerprint.hashing import fingerprint
+from repro.kvstore.bloom import CountingBloomFilter
+
+
+def records_for(sequence: list[str]) -> list[ChunkRecord]:
+    return [
+        ChunkRecord(fp=fingerprint(name.encode()), container_id=0, size=100)
+        for name in sequence
+    ]
+
+
+def fp_of(name: str) -> bytes:
+    return fingerprint(name.encode())
+
+
+class TestLookAheadWindow:
+    def test_initial_window(self):
+        law = LookAheadWindow(records_for(["a", "b", "c", "d"]), window=2)
+        assert fp_of("a") in law
+        assert fp_of("b") in law
+        assert fp_of("c") not in law
+
+    def test_advance_slides(self):
+        law = LookAheadWindow(records_for(["a", "b", "c", "d"]), window=2)
+        law.advance_past(0)
+        assert fp_of("a") not in law
+        assert fp_of("c") in law
+
+    def test_duplicate_fps_counted(self):
+        law = LookAheadWindow(records_for(["a", "a", "b"]), window=2)
+        law.advance_past(0)
+        assert fp_of("a") in law  # second occurrence still inside
+        law.advance_past(1)
+        assert fp_of("a") not in law
+
+    def test_upcoming_container_ids_in_order(self):
+        records = records_for(["a", "b", "c"])
+        records[0].container_id = 5
+        records[1].container_id = 3
+        records[2].container_id = 5
+        law = LookAheadWindow(records, window=3)
+        assert law.upcoming_container_ids() == [5, 3]
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            LookAheadWindow(records_for(["a"]), window=0)
+
+
+def build_cache(sequence: list[str], window: int = 2, memory: int = 1 << 20,
+                disk: int = 1 << 20):
+    records = records_for(sequence)
+    cbf = CountingBloomFilter(max(8, len(records) * 4), 0.001)
+    for record in records:
+        cbf.add(record.fp)
+    law = LookAheadWindow(records, window)
+    cache = FullVisionCache(memory, disk, cbf, law)
+    return records, law, cache
+
+
+def container_with(chunks: dict[str, bytes]) -> tuple[ContainerMeta, bytes]:
+    meta = ContainerMeta(0)
+    payload = bytearray()
+    for name, data in chunks.items():
+        meta.add(ChunkLocation(fp_of(name), len(payload), len(data)))
+        payload += data
+    return meta, bytes(payload)
+
+
+class TestStatuses:
+    def test_status_classification(self):
+        _, law, cache = build_cache(["a", "b", "c", "d"], window=2)
+        assert cache.status_of(fp_of("a")) == STATUS_IN_WINDOW
+        assert cache.status_of(fp_of("c")) == STATUS_LATER
+        assert cache.status_of(fp_of("zz")) == STATUS_USELESS
+
+    def test_status_changes_as_stream_advances(self):
+        _, law, cache = build_cache(["a", "b", "c"], window=1)
+        assert cache.status_of(fp_of("a")) == STATUS_IN_WINDOW
+        cache.consume(fp_of("a"))
+        law.advance_past(0)
+        assert cache.status_of(fp_of("a")) == STATUS_USELESS
+
+
+class TestInsertAndLookup:
+    def test_only_useful_chunks_cached(self):
+        _, _, cache = build_cache(["a", "b"], window=2)
+        meta, payload = container_with(
+            {"a": b"A" * 100, "b": b"B" * 100, "junk": b"J" * 100}
+        )
+        inserted = cache.insert_container(meta, payload)
+        assert inserted == 2
+        assert cache.lookup(fp_of("a")) == b"A" * 100
+        assert cache.lookup(fp_of("junk")) is None
+
+    def test_deleted_entries_skipped(self):
+        _, _, cache = build_cache(["a"], window=1)
+        meta, payload = container_with({"a": b"A" * 100})
+        meta.mark_deleted(fp_of("a"))
+        assert cache.insert_container(meta, payload) == 0
+
+    def test_consume_decrements_to_useless(self):
+        _, law, cache = build_cache(["a", "b", "a"], window=1)
+        meta, payload = container_with({"a": b"A" * 100})
+        cache.insert_container(meta, payload)
+        cache.consume(fp_of("a"))
+        # One reference left (position 2): still cached.
+        law.advance_past(0)
+        assert cache.lookup(fp_of("a")) is not None
+
+    def test_cbf_underflow_tolerated(self):
+        _, _, cache = build_cache(["a"], window=1)
+        cache.consume(fp_of("a"))
+        cache.consume(fp_of("a"))  # second consume underflows silently
+        assert cache.counters.get("cbf_underflows") == 1
+
+
+class TestEvictionPolicy:
+    def test_useless_evicted_first(self):
+        sequence = ["a", "b", "c", "d", "e", "f"]
+        _, law, cache = build_cache(sequence, window=6, memory=350, disk=10_000)
+        meta, payload = container_with({name: name.encode() * 100 for name in "abc"})
+        cache.insert_container(meta, payload)
+        for index, name in enumerate("abc"):
+            cache.consume(fp_of(name))
+            law.advance_past(index)
+        # a-c consumed and out of window: useless.  New useful chunks push
+        # them out rather than the useful ones.
+        meta2, payload2 = container_with({name: name.encode() * 100 for name in "def"})
+        cache.insert_container(meta2, payload2)
+        assert cache.lookup(fp_of("d")) is not None
+        assert cache.lookup(fp_of("e")) is not None
+
+    def test_later_chunks_demoted_to_disk_not_lost(self):
+        sequence = [chr(ord("a") + i) for i in range(10)]
+        _, _, cache = build_cache(sequence, window=2, memory=250, disk=10_000)
+        meta, payload = container_with(
+            {name: name.encode() * 100 for name in sequence}
+        )
+        cache.insert_container(meta, payload)
+        # Everything is useful (in window or in CBF): overflow goes to the
+        # disk layer instead of being dropped.
+        assert cache.disk_used > 0
+        for name in sequence:
+            assert cache.lookup(fp_of(name)) is not None, name
+
+    def test_disk_promotion_counts(self):
+        sequence = [chr(ord("a") + i) for i in range(10)]
+        _, _, cache = build_cache(sequence, window=2, memory=250, disk=10_000)
+        meta, payload = container_with(
+            {name: name.encode() * 100 for name in sequence}
+        )
+        cache.insert_container(meta, payload)
+        for name in sequence:
+            cache.lookup(fp_of(name))
+        assert cache.counters.get("disk_promotions") >= 1
+
+    def test_memory_capacity_validated(self):
+        records = records_for(["a"])
+        cbf = CountingBloomFilter(8)
+        law = LookAheadWindow(records, 1)
+        with pytest.raises(ValueError):
+            FullVisionCache(0, 100, cbf, law)

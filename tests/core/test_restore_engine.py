@@ -1,0 +1,163 @@
+"""Tests for the L-node restore job (Section V)."""
+
+import pytest
+
+from repro.core.config import SlimStoreConfig
+from repro.core.dedup import BackupEngine
+from repro.core.restore import RestoreEngine
+from repro.core.storage import StorageLayer
+from repro.errors import RestoreError, VersionNotFoundError
+from tests.conftest import mutate, random_bytes
+
+CONFIG = SlimStoreConfig(
+    container_bytes=128 * 1024,
+    segment_bytes=64 * 1024,
+    min_superchunk_bytes=16 * 1024,
+    max_superchunk_bytes=64 * 1024,
+    merge_threshold=3,
+    restore_cache_bytes=1 << 20,
+)
+
+
+@pytest.fixture
+def storage(oss) -> StorageLayer:
+    return StorageLayer.create(oss)
+
+
+@pytest.fixture
+def engines(storage):
+    return BackupEngine(CONFIG, storage), RestoreEngine(CONFIG, storage)
+
+
+class TestRestoreCorrectness:
+    def test_roundtrip_single_version(self, engines, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 300 * 1024)
+        backup.backup("f", data)
+        result = restore.restore("f", 0)
+        assert result.data == data
+
+    def test_roundtrip_many_versions(self, engines, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 256 * 1024)
+        versions = [data]
+        for _ in range(6):
+            data = mutate(rng, data, runs=2, run_bytes=8 * 1024)
+            versions.append(data)
+        for payload in versions:
+            backup.backup("f", payload)
+        for version, payload in enumerate(versions):
+            assert restore.restore("f", version).data == payload
+
+    def test_restore_with_self_reference(self, engines, rng):
+        backup, restore = engines
+        block = random_bytes(rng, 32 * 1024)
+        data = block + random_bytes(rng, 64 * 1024) + block + block
+        backup.backup("f", data)
+        assert restore.restore("f", 0).data == data
+
+    def test_restore_superchunked_version(self, engines, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 256 * 1024)
+        for _ in range(5):
+            backup.backup("f", data)
+        result = restore.restore("f", 4)
+        assert result.data == data
+
+    def test_missing_version_raises(self, engines):
+        _, restore = engines
+        with pytest.raises(VersionNotFoundError):
+            restore.restore("ghost", 0)
+
+    def test_empty_file(self, engines):
+        backup, restore = engines
+        backup.backup("empty", b"")
+        assert restore.restore("empty", 0).data == b""
+
+    def test_verification_catches_corruption(self, engines, storage, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 128 * 1024)
+        result = backup.backup("f", data)
+        cid = result.new_container_ids[0]
+        payload = bytearray(storage.containers.read_data(cid))
+        payload[10] ^= 0xFF
+        storage.oss.put_object("slimstore", f"containers/{cid:012d}.data", bytes(payload))
+        with pytest.raises(RestoreError):
+            restore.restore("f", 0, verify=True)
+
+
+class TestRestoreEfficiency:
+    def test_containers_read_once(self, engines, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 512 * 1024)
+        for _ in range(4):
+            backup.backup("f", data)
+            data = mutate(rng, data, runs=2, run_bytes=8 * 1024)
+        result = restore.restore("f", 3)
+        assert result.counters.get("repeated_container_reads") == 0
+
+    def test_read_amplification_bounded(self, engines, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 512 * 1024)
+        backup.backup("f", data)
+        result = restore.restore("f", 0)
+        # A fresh version's chunks are contiguous: amplification near 1.
+        assert result.read_amplification < 1.3
+
+    def test_prefetch_threads_speed_up(self, engines, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 512 * 1024)
+        backup.backup("f", data)
+        slow = restore.restore("f", 0, prefetch_threads=0, verify=False)
+        fast = restore.restore("f", 0, prefetch_threads=6, verify=False)
+        assert fast.throughput_mb_s > 2 * slow.throughput_mb_s
+        assert fast.data == slow.data
+
+    def test_throughput_metrics(self, engines, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 256 * 1024)
+        backup.backup("f", data)
+        result = restore.restore("f", 0)
+        assert result.logical_bytes == len(data)
+        assert result.containers_read >= 2
+        assert result.containers_per_100mb > 0
+        assert result.elapsed_seconds > 0
+
+
+class TestGlobalIndexRedirect:
+    def test_restore_after_chunk_moved(self, engines, storage, rng):
+        """A chunk deleted from its recorded container is found through
+        the global index (the Section VI-A redirect)."""
+        backup, restore = engines
+        data = random_bytes(rng, 128 * 1024)
+        result = backup.backup("f", data)
+        cid = result.new_container_ids[0]
+        meta = storage.containers.read_meta(cid)
+        victim = meta.live_entries()[0]
+
+        # Move the chunk: store a copy in a fresh container, point the
+        # global index there, delete the original.
+        payload = storage.containers.read_data(cid)
+        chunk = payload[victim.offset : victim.offset + victim.size]
+        builder = storage.containers.new_builder(CONFIG.container_bytes)
+        builder.add_chunk(victim.fp, chunk)
+        storage.containers.write(builder)
+        storage.global_index.assign(victim.fp, builder.container_id)
+        meta.mark_deleted(victim.fp)
+        storage.containers.update_meta(meta)
+        storage.containers.rewrite(cid)
+
+        result = restore.restore("f", 0)
+        assert result.data == data
+        assert result.counters.get("global_index_redirects") == 1
+
+    def test_unresolvable_chunk_raises(self, engines, storage, rng):
+        backup, restore = engines
+        data = random_bytes(rng, 64 * 1024)
+        result = backup.backup("f", data)
+        cid = result.new_container_ids[0]
+        meta = storage.containers.read_meta(cid)
+        meta.mark_deleted(meta.live_entries()[0].fp)
+        storage.containers.update_meta(meta)
+        with pytest.raises(RestoreError):
+            restore.restore("f", 0)

@@ -1,0 +1,107 @@
+"""Hypothesis round-trip properties for every on-OSS serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.container import ChunkLocation, ContainerMeta
+from repro.core.recipe import ChunkRecord, Recipe, RecipeIndex
+
+fingerprints = st.binary(min_size=20, max_size=20)
+sizes = st.integers(min_value=1, max_value=1 << 30)
+container_ids = st.integers(min_value=0, max_value=1 << 40)
+
+
+@st.composite
+def chunk_records(draw):
+    superchunk = draw(st.booleans())
+    return ChunkRecord(
+        fp=draw(fingerprints),
+        container_id=draw(container_ids),
+        size=draw(sizes),
+        duplicate_times=draw(st.integers(0, 1000)),
+        is_superchunk=superchunk,
+        first_fp=draw(fingerprints) if superchunk else b"",
+        first_size=draw(st.integers(1, 1 << 20)) if superchunk else 0,
+    )
+
+
+@st.composite
+def recipes(draw):
+    segments = draw(
+        st.lists(st.lists(chunk_records(), max_size=6), max_size=5)
+    )
+    recipe = Recipe(
+        path=draw(st.text(max_size=30)),
+        version=draw(st.integers(0, 10_000)),
+        segments=segments,
+    )
+    recipe.total_bytes = sum(r.size for r in recipe.all_records())
+    return recipe
+
+
+@st.composite
+def container_metas(draw):
+    meta = ContainerMeta(draw(container_ids))
+    offset = 0
+    for _ in range(draw(st.integers(0, 10))):
+        size = draw(st.integers(1, 1 << 16))
+        meta.add(
+            ChunkLocation(
+                fp=draw(fingerprints),
+                offset=offset,
+                size=size,
+                deleted=draw(st.booleans()),
+                alias=draw(st.booleans()),
+            )
+        )
+        offset += size
+    return meta
+
+
+@given(chunk_records())
+@settings(max_examples=50, deadline=None)
+def test_chunk_record_roundtrip(record):
+    restored, consumed = ChunkRecord.read_from(record.to_bytes(), 0)
+    assert restored == record
+    assert consumed == len(record.to_bytes())
+
+
+@given(recipes())
+@settings(max_examples=30, deadline=None)
+def test_recipe_roundtrip(recipe):
+    restored = Recipe.from_bytes(recipe.path, recipe.to_bytes())
+    assert restored.version == recipe.version
+    assert restored.total_bytes == recipe.total_bytes
+    assert restored.segments == recipe.segments
+
+
+@given(
+    st.dictionaries(
+        fingerprints, st.lists(st.integers(0, 1000), min_size=1, max_size=4,
+                               unique=True), max_size=16,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_recipe_index_roundtrip(entries):
+    index = RecipeIndex()
+    for fp, ordinals in entries.items():
+        for ordinal in ordinals:
+            index.add(fp, ordinal)
+    restored = RecipeIndex.from_bytes(index.to_bytes())
+    assert restored.entries == index.entries
+
+
+@given(container_metas())
+@settings(max_examples=30, deadline=None)
+def test_container_meta_roundtrip(meta):
+    restored = ContainerMeta.from_bytes(meta.to_bytes())
+    assert restored.container_id == meta.container_id
+    assert len(restored.entries) == len(meta.entries)
+    for original, loaded in zip(meta.entries, restored.entries):
+        assert (original.fp, original.offset, original.size) == (
+            loaded.fp, loaded.offset, loaded.size
+        )
+        assert original.deleted == loaded.deleted
+        assert original.alias == loaded.alias
+    assert restored.total_chunks() == meta.total_chunks()
+    assert restored.live_bytes() == meta.live_bytes()

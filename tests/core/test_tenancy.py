@@ -1,0 +1,98 @@
+"""Tests for the multi-tenant backup service."""
+
+import pytest
+
+from repro import SlimStoreConfig
+from repro.core.tenancy import BackupService
+from repro.oss.backend import FilesystemBackend
+from repro.oss.object_store import ObjectStorageService
+from tests.conftest import random_bytes
+
+CONFIG = SlimStoreConfig(container_bytes=64 * 1024, segment_bytes=32 * 1024)
+
+
+@pytest.fixture
+def service() -> BackupService:
+    return BackupService(config=CONFIG)
+
+
+class TestTenantIsolation:
+    def test_same_content_stored_per_tenant(self, service, rng):
+        """Identical data from two tenants is NOT cross-deduplicated —
+        isolation over savings (each tenant has its own global index)."""
+        data = random_bytes(rng, 128 * 1024)
+        first = service.backup("alice", "f", data)
+        second = service.backup("bob", "f", data)
+        assert first.dedup_ratio == 0.0
+        assert second.dedup_ratio == 0.0  # no visibility into alice's chunks
+
+    def test_tenants_have_independent_versions(self, service, rng):
+        data = random_bytes(rng, 64 * 1024)
+        service.backup("alice", "f", data)
+        service.backup("alice", "f", data)
+        service.backup("bob", "f", data)
+        assert service.store_for("alice").versions("f") == [0, 1]
+        assert service.store_for("bob").versions("f") == [0]
+
+    def test_restore_is_per_tenant(self, service, rng):
+        alice_data = random_bytes(rng, 64 * 1024)
+        bob_data = random_bytes(rng, 64 * 1024)
+        service.backup("alice", "f", alice_data)
+        service.backup("bob", "f", bob_data)
+        assert service.restore("alice", "f").data == alice_data
+        assert service.restore("bob", "f").data == bob_data
+
+    def test_buckets_are_separate(self, service, rng):
+        service.backup("alice", "f", random_bytes(rng, 32 * 1024))
+        buckets = service.oss.bucket_names()
+        assert "tenant-alice" in buckets
+        assert all(not b.startswith("tenant-bob") for b in buckets)
+
+
+class TestServiceAccounting:
+    def test_usage_tracks_jobs_and_bytes(self, service, rng):
+        data = random_bytes(rng, 96 * 1024)
+        service.backup("alice", "f", data)
+        service.backup("alice", "f", data)
+        service.restore("alice", "f")
+        usage = service.usage("alice")
+        assert usage.backup_jobs == 2
+        assert usage.restore_jobs == 1
+        assert usage.logical_bytes_backed_up == 2 * len(data)
+        assert usage.stored_bytes > 0
+
+    def test_unknown_tenant_usage_is_empty(self, service):
+        usage = service.usage("nobody")
+        assert usage.backup_jobs == 0
+        assert usage.stored_bytes == 0
+
+    def test_total_stored_across_tenants(self, service, rng):
+        service.backup("alice", "f", random_bytes(rng, 64 * 1024))
+        service.backup("bob", "f", random_bytes(rng, 64 * 1024))
+        total = service.total_stored_bytes()
+        assert total >= service.usage("alice").stored_bytes
+        assert service.tenants() == ["alice", "bob"]
+
+    def test_tenant_name_validation(self, service):
+        with pytest.raises(ValueError):
+            service.store_for("")
+        with pytest.raises(ValueError):
+            service.store_for("../escape")
+        assert service.store_for("Team_A-1") is service.store_for("team_a-1")
+
+
+class TestDurableTenancy:
+    def test_tenants_survive_restart(self, tmp_path, rng):
+        def make_service():
+            oss = ObjectStorageService(
+                backend_factory=lambda bucket: FilesystemBackend(tmp_path / bucket)
+            )
+            return BackupService(oss, CONFIG)
+
+        data = random_bytes(rng, 96 * 1024)
+        make_service().backup("alice", "f", data)
+        fresh = make_service()
+        assert fresh.store_for("alice").versions("f") == [0]
+        report = fresh.backup("alice", "f", data)
+        assert report.dedup_ratio > 0.9
+        assert fresh.restore("alice", "f", 0).data == data

@@ -1,0 +1,101 @@
+"""Tests for hashing, sampling and similarity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fingerprint.hashing import FP_SIZE, fingerprint, fingerprint_hex
+from repro.fingerprint.sampling import is_sampled, sample_fingerprints
+from repro.fingerprint.similarity import (
+    jaccard_resemblance,
+    representative_fingerprints,
+    sketch_overlap,
+)
+
+
+class TestHashing:
+    def test_digest_size(self):
+        assert len(fingerprint(b"data")) == FP_SIZE
+
+    def test_deterministic(self):
+        assert fingerprint(b"data") == fingerprint(b"data")
+
+    def test_content_sensitive(self):
+        assert fingerprint(b"data") != fingerprint(b"date")
+
+    def test_hex_matches_digest(self):
+        assert fingerprint_hex(b"x") == fingerprint(b"x").hex()
+
+    def test_accepts_memoryview(self):
+        payload = b"payload"
+        assert fingerprint(memoryview(payload)) == fingerprint(payload)
+
+
+class TestSampling:
+    def test_ratio_one_samples_everything(self):
+        assert is_sampled(fingerprint(b"anything"), 1)
+
+    def test_deterministic_per_fingerprint(self):
+        fp = fingerprint(b"x")
+        assert is_sampled(fp, 16) == is_sampled(fp, 16)
+
+    def test_rate_close_to_target(self):
+        fps = [fingerprint(str(i).encode()) for i in range(4000)]
+        sampled = sample_fingerprints(fps, 16)
+        assert 4000 / 16 * 0.6 <= len(sampled) <= 4000 / 16 * 1.6
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            is_sampled(b"\x00" * 20, 0)
+
+    def test_sampling_preserves_order(self):
+        fps = [fingerprint(str(i).encode()) for i in range(100)]
+        sampled = sample_fingerprints(fps, 4)
+        indexes = [fps.index(fp) for fp in sampled]
+        assert indexes == sorted(indexes)
+
+
+class TestSimilarity:
+    def test_representatives_are_minimums(self):
+        fps = [fingerprint(str(i).encode()) for i in range(100)]
+        reps = representative_fingerprints(fps, count=5)
+        assert reps == sorted(set(fps))[:5]
+
+    def test_representatives_deduplicate(self):
+        fps = [fingerprint(b"same")] * 10
+        assert len(representative_fingerprints(fps, count=5)) == 1
+
+    def test_representatives_reject_bad_count(self):
+        with pytest.raises(ValueError):
+            representative_fingerprints([], count=0)
+
+    def test_jaccard_identical(self):
+        fps = [fingerprint(str(i).encode()) for i in range(10)]
+        assert jaccard_resemblance(fps, fps) == 1.0
+
+    def test_jaccard_disjoint(self):
+        left = [fingerprint(f"l{i}".encode()) for i in range(10)]
+        right = [fingerprint(f"r{i}".encode()) for i in range(10)]
+        assert jaccard_resemblance(left, right) == 0.0
+
+    def test_jaccard_empty_sets(self):
+        assert jaccard_resemblance([], []) == 1.0
+
+    def test_sketch_overlap_counts_shared(self):
+        left = [fingerprint(str(i).encode()) for i in range(10)]
+        right = left[:4] + [fingerprint(f"x{i}".encode()) for i in range(6)]
+        assert sketch_overlap(left, right) == 4
+
+    @given(st.sets(st.binary(min_size=1, max_size=8), min_size=1, max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_similar_files_share_representatives(self, contents):
+        """Broder's theorem in miniature: a file sharing most chunks with
+        another shares representative fingerprints with high probability."""
+        fps = sorted(fingerprint(c) for c in contents)
+        # Drop one element: the min-hash sketch overlaps heavily.
+        reduced = fps[:-1] if len(fps) > 1 else fps
+        overlap = sketch_overlap(
+            representative_fingerprints(fps, 4),
+            representative_fingerprints(reduced, 4),
+        )
+        assert overlap >= min(4, len(reduced)) - 1

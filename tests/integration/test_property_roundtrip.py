@@ -1,0 +1,80 @@
+"""Property-based integration: arbitrary version streams restore exactly."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SlimStore, SlimStoreConfig
+from tests.conftest import random_bytes
+
+CONFIG = SlimStoreConfig(
+    container_bytes=64 * 1024,
+    segment_bytes=32 * 1024,
+    min_superchunk_bytes=8 * 1024,
+    max_superchunk_bytes=32 * 1024,
+    merge_threshold=2,
+)
+
+
+@st.composite
+def version_streams(draw):
+    """A random sequence of edits applied to a random base file."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    size = draw(st.integers(min_value=0, max_value=160 * 1024))
+    base = random_bytes(rng, size)
+    versions = [base]
+    edit_count = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(edit_count):
+        previous = bytearray(versions[-1])
+        operation = draw(st.sampled_from(["overwrite", "insert", "delete", "append"]))
+        if not previous and operation in ("overwrite", "delete"):
+            operation = "append"
+        if operation == "overwrite":
+            start = draw(st.integers(0, max(0, len(previous) - 1)))
+            length = draw(st.integers(1, 8 * 1024))
+            previous[start : start + length] = random_bytes(rng, length)
+        elif operation == "insert":
+            start = draw(st.integers(0, len(previous)))
+            previous[start:start] = random_bytes(rng, draw(st.integers(1, 8 * 1024)))
+        elif operation == "delete":
+            start = draw(st.integers(0, max(0, len(previous) - 1)))
+            length = draw(st.integers(1, 8 * 1024))
+            del previous[start : start + length]
+        else:
+            previous += random_bytes(rng, draw(st.integers(1, 8 * 1024)))
+        versions.append(bytes(previous))
+    return versions
+
+
+@given(version_streams())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_any_version_stream_restores_byte_exact(versions):
+    """Whatever sequence of edits a user makes, every version restores."""
+    store = SlimStore(CONFIG)
+    for data in versions:
+        store.backup("file", data)
+    for version, data in enumerate(versions):
+        assert store.restore("file", version).data == data
+
+
+@given(version_streams())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_space_never_exceeds_logical_plus_overhead(versions):
+    """Stored chunk bytes never exceed the logical total (dedup >= 0),
+    modulo the transient superchunk duplication bounded by one extra
+    copy of the data."""
+    store = SlimStore(CONFIG)
+    for data in versions:
+        store.backup("file", data)
+    logical = sum(len(data) for data in versions)
+    stored = store.space_report().container_bytes
+    assert stored <= max(logical, 1) * 2

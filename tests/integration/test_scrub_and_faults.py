@@ -1,0 +1,122 @@
+"""Scrubbing and failure injection: the repository under damage."""
+
+import pytest
+
+from repro import SlimStore, SlimStoreConfig
+from repro.cli import main
+from repro.core.scrub import RepositoryScrubber
+from repro.errors import RestoreError
+from tests.conftest import mutate, random_bytes
+
+CONFIG = SlimStoreConfig(
+    container_bytes=64 * 1024,
+    segment_bytes=32 * 1024,
+    min_superchunk_bytes=16 * 1024,
+    max_superchunk_bytes=32 * 1024,
+    merge_threshold=3,
+)
+
+
+@pytest.fixture
+def aged_store(rng):
+    """A store with history: merging, compaction and reverse dedup ran."""
+    store = SlimStore(CONFIG)
+    data = random_bytes(rng, 256 * 1024)
+    payloads = [data]
+    store.backup("f", data)
+    for _ in range(5):
+        payloads.append(mutate(rng, payloads[-1], runs=2, run_bytes=8 * 1024))
+        store.backup("f", payloads[-1])
+    return store, payloads
+
+
+class TestScrubClean:
+    def test_healthy_repository_scrubs_clean(self, aged_store):
+        store, _ = aged_store
+        report = store.scrub()
+        assert report.clean
+        assert report.containers_checked > 0
+        assert report.chunks_verified > 0
+        assert report.recipes_checked == 6
+        assert not report.corrupt_chunks
+        assert not report.unresolvable_records
+
+    def test_redirects_counted_not_flagged(self, aged_store):
+        store, _ = aged_store
+        report = store.scrub()
+        # G-node moved chunks: old recipes legitimately redirect.
+        assert report.redirected_records >= 0
+        assert report.unresolvable_records == []
+
+    def test_container_pass_without_catalog(self, aged_store):
+        store, _ = aged_store
+        report = RepositoryScrubber(store.storage).scrub(None)
+        assert report.containers_checked > 0
+        assert report.recipes_checked == 0
+
+
+class TestScrubDetectsDamage:
+    def test_detects_flipped_bits(self, aged_store):
+        store, _ = aged_store
+        cid = store.storage.containers.container_ids()[0]
+        payload = bytearray(store.storage.containers.read_data(cid))
+        payload[len(payload) // 2] ^= 0xFF
+        store.oss.put_object("slimstore", f"containers/{cid:012d}.data", bytes(payload))
+        report = store.scrub()
+        assert not report.clean
+        assert any(found_cid == cid for found_cid, _ in report.corrupt_chunks)
+
+    def test_detects_dangling_records(self, aged_store):
+        store, _ = aged_store
+        # Nuke a container referenced by the oldest recipe.
+        recipe = store.storage.recipes.get_recipe("f", 0)
+        victim = sorted(recipe.referenced_containers())[0]
+        store.storage.containers.delete(victim)
+        report = store.scrub()
+        assert not report.clean
+        assert any(path == "f" for path, _v, _fp in report.unresolvable_records)
+
+    def test_cli_scrub_exit_codes(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        sample = tmp_path / "s.bin"
+        sample.write_bytes(random_bytes(rng, 64 * 1024))
+        main(["backup", str(repo), str(sample)])
+        assert main(["scrub", str(repo)]) == 0
+        assert "clean" in capsys.readouterr().out
+        # Corrupt a container object on disk and scrub again.
+        container = next((repo / "slimstore" / "containers").glob("*.data"))
+        blob = bytearray(container.read_bytes())
+        blob[100] ^= 0xFF
+        container.write_bytes(bytes(blob))
+        assert main(["scrub", str(repo)]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+
+class TestFaultTolerance:
+    def test_restore_other_versions_despite_one_bad_container(self, aged_store):
+        """Damage to one version's container leaves other versions intact."""
+        store, payloads = aged_store
+        latest = store.versions("f")[-1]
+        latest_recipe = store.storage.recipes.get_recipe("f", latest)
+        latest_cids = latest_recipe.referenced_containers()
+        # Corrupt a container NOT referenced by the latest version.
+        for cid in store.storage.containers.container_ids():
+            if cid not in latest_cids:
+                payload = bytearray(store.storage.containers.read_data(cid))
+                payload[0] ^= 0xFF
+                store.oss.put_object(
+                    "slimstore", f"containers/{cid:012d}.data", bytes(payload)
+                )
+                break
+        assert store.restore("f", latest).data == payloads[latest]
+
+    def test_verified_restore_refuses_corrupt_data(self, aged_store):
+        store, _ = aged_store
+        latest = store.versions("f")[-1]
+        recipe = store.storage.recipes.get_recipe("f", latest)
+        cid = sorted(recipe.referenced_containers())[-1]
+        payload = bytearray(store.storage.containers.read_data(cid))
+        payload[1] ^= 0xFF
+        store.oss.put_object("slimstore", f"containers/{cid:012d}.data", bytes(payload))
+        with pytest.raises(RestoreError):
+            store.restore("f", latest, verify=True)

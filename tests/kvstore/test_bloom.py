@@ -1,0 +1,126 @@
+"""Tests for the Bloom filters, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.bloom import BloomFilter, CountingBloomFilter, optimal_parameters
+
+
+class TestOptimalParameters:
+    def test_more_items_need_more_bits(self):
+        small, _ = optimal_parameters(100, 0.01)
+        large, _ = optimal_parameters(10000, 0.01)
+        assert large > small
+
+    def test_lower_fp_rate_needs_more_bits(self):
+        loose, _ = optimal_parameters(1000, 0.1)
+        tight, _ = optimal_parameters(1000, 0.001)
+        assert tight > loose
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_parameters(100, 1.5)
+
+
+class TestBloomFilter:
+    def test_added_items_are_found(self):
+        filt = BloomFilter(100)
+        items = [f"item{i}".encode() for i in range(50)]
+        filt.update(items)
+        assert all(item in filt for item in items)
+
+    def test_absent_items_mostly_rejected(self):
+        filt = BloomFilter(1000, 0.01)
+        filt.update(f"in{i}".encode() for i in range(1000))
+        false_positives = sum(
+            1 for i in range(1000) if f"out{i}".encode() in filt
+        )
+        assert false_positives < 50  # 1% target with generous slack
+
+    def test_len_counts_insertions(self):
+        filt = BloomFilter(10)
+        filt.add(b"a")
+        filt.add(b"b")
+        assert len(filt) == 2
+
+    def test_serialisation_roundtrip(self):
+        filt = BloomFilter(100)
+        filt.update(f"x{i}".encode() for i in range(40))
+        restored = BloomFilter.from_bytes(filt.to_bytes())
+        assert all(f"x{i}".encode() in restored for i in range(40))
+        assert len(restored) == 40
+        assert restored.bit_count == filt.bit_count
+
+    def test_corrupt_payload_rejected(self):
+        filt = BloomFilter(10)
+        filt.add(b"a")
+        payload = filt.to_bytes()
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(payload[:-1])
+
+    @given(st.sets(st.binary(min_size=1, max_size=32), max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_no_false_negatives(self, items):
+        filt = BloomFilter(max(1, len(items)))
+        filt.update(items)
+        assert all(item in filt for item in items)
+
+
+class TestCountingBloomFilter:
+    def test_count_tracks_references(self):
+        cbf = CountingBloomFilter(100)
+        cbf.add(b"chunk", times=3)
+        assert cbf.count(b"chunk") >= 3
+        cbf.remove(b"chunk")
+        assert cbf.count(b"chunk") >= 2
+
+    def test_remove_to_zero(self):
+        cbf = CountingBloomFilter(100)
+        cbf.add(b"chunk")
+        cbf.remove(b"chunk")
+        assert b"chunk" not in cbf
+
+    def test_remove_absent_raises(self):
+        cbf = CountingBloomFilter(100)
+        with pytest.raises(KeyError):
+            cbf.remove(b"never added")
+
+    def test_add_rejects_non_positive_times(self):
+        cbf = CountingBloomFilter(100)
+        with pytest.raises(ValueError):
+            cbf.add(b"x", times=0)
+
+    def test_contains(self):
+        cbf = CountingBloomFilter(100)
+        assert b"x" not in cbf
+        cbf.add(b"x")
+        assert b"x" in cbf
+
+    @given(
+        st.dictionaries(
+            st.binary(min_size=4, max_size=16),
+            st.integers(min_value=1, max_value=5),
+            max_size=32,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_counts_are_upper_bounds(self, reference_counts):
+        cbf = CountingBloomFilter(max(8, len(reference_counts) * 4), 0.001)
+        for item, count in reference_counts.items():
+            cbf.add(item, times=count)
+        for item, count in reference_counts.items():
+            assert cbf.count(item) >= count
+
+    @given(st.lists(st.binary(min_size=4, max_size=16), min_size=1, max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_add_remove_symmetry(self, items):
+        cbf = CountingBloomFilter(max(8, len(items) * 4), 0.001)
+        for item in items:
+            cbf.add(item)
+        for item in items:
+            cbf.remove(item)
+        # After perfectly balanced add/remove, every slot is zero again.
+        assert all(count == 0 for count in cbf._counters)

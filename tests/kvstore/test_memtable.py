@@ -1,0 +1,58 @@
+"""Tests for the LSM memtable."""
+
+import pytest
+
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+
+
+class TestMemTable:
+    def test_put_get(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        assert table.get(b"k") == b"v"
+
+    def test_get_missing_is_none(self):
+        assert MemTable().get(b"k") is None
+
+    def test_overwrite_updates_size(self):
+        table = MemTable()
+        table.put(b"k", b"long value here")
+        table.put(b"k", b"v")
+        assert table.byte_size == len(b"k") + len(b"v")
+
+    def test_delete_writes_tombstone(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.delete(b"k")
+        assert table.get(b"k") == TOMBSTONE
+
+    def test_is_full(self):
+        table = MemTable(capacity_bytes=10)
+        assert not table.is_full()
+        table.put(b"key", b"0123456789")
+        assert table.is_full()
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            MemTable(capacity_bytes=0)
+
+    def test_sorted_items(self):
+        table = MemTable()
+        table.put(b"b", b"2")
+        table.put(b"a", b"1")
+        table.put(b"c", b"3")
+        assert [k for k, _ in table.sorted_items()] == [b"a", b"b", b"c"]
+
+    def test_clear(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.clear()
+        assert len(table) == 0
+        assert table.byte_size == 0
+
+    def test_len(self):
+        table = MemTable()
+        table.put(b"a", b"1")
+        table.put(b"b", b"2")
+        table.put(b"a", b"3")
+        assert len(table) == 2

@@ -1,0 +1,78 @@
+"""Tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import KVStoreError
+from repro.kvstore.wal import (
+    OP_DELETE,
+    OP_PUT,
+    WriteAheadLog,
+    decode_records,
+    encode_record,
+)
+from repro.oss.object_store import ObjectStorageService
+
+
+@pytest.fixture
+def wal(oss: ObjectStorageService) -> WriteAheadLog:
+    return WriteAheadLog(oss, "walbucket", "teststore")
+
+
+class TestRecordEncoding:
+    def test_roundtrip(self):
+        blob = encode_record(OP_PUT, b"key", b"value")
+        blob += encode_record(OP_DELETE, b"gone", b"")
+        records = list(decode_records(blob))
+        assert records == [(OP_PUT, b"key", b"value"), (OP_DELETE, b"gone", b"")]
+
+    def test_truncated_header_rejected(self):
+        blob = encode_record(OP_PUT, b"k", b"v")
+        with pytest.raises(KVStoreError):
+            list(decode_records(blob[:3]))
+
+    def test_truncated_body_rejected(self):
+        blob = encode_record(OP_PUT, b"key", b"value")
+        with pytest.raises(KVStoreError):
+            list(decode_records(blob[:-2]))
+
+
+class TestWriteAheadLog:
+    def test_replay_active_segment(self, wal):
+        wal.log_put(b"a", b"1")
+        wal.log_delete(b"b")
+        records = list(wal.replay())
+        assert records == [(OP_PUT, b"a", b"1"), (OP_DELETE, b"b", b"")]
+
+    def test_persist_and_replay(self, wal):
+        wal.log_put(b"a", b"1")
+        key = wal.persist_segment()
+        assert key is not None
+        wal.log_put(b"b", b"2")
+        records = list(wal.replay())
+        assert records == [(OP_PUT, b"a", b"1"), (OP_PUT, b"b", b"2")]
+
+    def test_persist_empty_returns_none(self, wal):
+        assert wal.persist_segment() is None
+
+    def test_pending_bytes(self, wal):
+        assert wal.pending_bytes == 0
+        wal.log_put(b"a", b"1")
+        assert wal.pending_bytes > 0
+        wal.persist_segment()
+        assert wal.pending_bytes == 0
+
+    def test_discard_persisted(self, wal):
+        wal.log_put(b"a", b"1")
+        wal.persist_segment()
+        wal.log_put(b"b", b"2")
+        wal.persist_segment()
+        assert wal.discard_persisted() == 2
+        assert list(wal.replay()) == []
+
+    def test_segment_ordering(self, wal):
+        wal.log_put(b"first", b"1")
+        wal.persist_segment()
+        wal.log_put(b"second", b"2")
+        wal.persist_segment()
+        records = [key for _op, key, _value in wal.replay()]
+        assert records == [b"first", b"second"]

@@ -1,0 +1,129 @@
+"""Tests for the simulated Object Storage Service."""
+
+import pytest
+
+from repro.errors import BucketNotFoundError, ObjectNotFoundError
+from repro.oss.object_store import ObjectStorageService
+from repro.sim.cost_model import CostModel
+
+
+@pytest.fixture
+def store() -> ObjectStorageService:
+    service = ObjectStorageService(CostModel())
+    service.create_bucket("test")
+    return service
+
+
+class TestBuckets:
+    def test_create_is_idempotent(self, store):
+        store.create_bucket("test")
+        assert store.bucket_names() == ["test"]
+
+    def test_missing_bucket_raises(self, store):
+        with pytest.raises(BucketNotFoundError):
+            store.get_object("ghost", "k")
+
+
+class TestObjectOperations:
+    def test_put_get_roundtrip(self, store):
+        store.put_object("test", "key", b"data")
+        assert store.get_object("test", "key") == b"data"
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.get_object("test", "missing")
+
+    def test_get_range(self, store):
+        store.put_object("test", "key", b"0123456789")
+        assert store.get_range("test", "key", 2, 3) == b"234"
+
+    def test_get_range_bounds_checked(self, store):
+        store.put_object("test", "key", b"0123")
+        with pytest.raises(ValueError):
+            store.get_range("test", "key", 2, 10)
+        with pytest.raises(ValueError):
+            store.get_range("test", "key", -1, 2)
+
+    def test_delete(self, store):
+        store.put_object("test", "key", b"data")
+        assert store.delete_object("test", "key") is True
+        assert store.delete_object("test", "key") is False
+
+    def test_list_with_prefix(self, store):
+        store.put_object("test", "a/1", b"x")
+        store.put_object("test", "a/2", b"x")
+        store.put_object("test", "b/1", b"x")
+        assert store.list_objects("test", "a/") == ["a/1", "a/2"]
+
+    def test_head_and_exists(self, store):
+        store.put_object("test", "key", b"12345")
+        assert store.head_object("test", "key") == 5
+        assert store.object_exists("test", "key")
+        assert not store.object_exists("test", "other")
+
+
+class TestVirtualTimeCharging:
+    def test_put_advances_clock(self, store):
+        before = store.clock.now
+        store.put_object("test", "key", b"x" * (1 << 20))
+        model = store.cost_model
+        expected = model.oss_request_latency + (1 << 20) / model.oss_write_bandwidth
+        assert store.clock.now - before == pytest.approx(expected)
+
+    def test_piggyback_put_charges_no_latency(self, store):
+        store.put_object("test", "main", b"x")
+        before = store.clock.now
+        store.put_object("test", "meta", b"y" * 1000, piggyback=True)
+        charged = store.clock.now - before
+        assert charged == pytest.approx(1000 / store.cost_model.oss_write_bandwidth)
+
+    def test_get_advances_clock(self, store):
+        store.put_object("test", "key", b"x" * (1 << 20))
+        before = store.clock.now
+        store.get_object("test", "key")
+        model = store.cost_model
+        expected = model.oss_request_latency + (1 << 20) / model.oss_read_bandwidth
+        assert store.clock.now - before == pytest.approx(expected)
+
+    def test_multichannel_get_is_faster(self, store):
+        store.put_object("test", "key", b"x" * (4 << 20))
+        t0 = store.clock.now
+        store.get_object("test", "key", channels=1)
+        single = store.clock.now - t0
+        t1 = store.clock.now
+        store.get_object("test", "key", channels=4)
+        quad = store.clock.now - t1
+        assert quad < single / 2
+
+    def test_peek_is_free(self, store):
+        store.put_object("test", "key", b"data")
+        before = store.clock.now
+        assert store.peek_size("test", "key") == 4
+        assert store.peek_keys("test") == ["key"]
+        assert store.clock.now == before
+
+
+class TestStats:
+    def test_traffic_accounting(self, store):
+        store.put_object("test", "k", b"x" * 100)
+        store.get_object("test", "k")
+        store.get_range("test", "k", 0, 10)
+        assert store.stats.put_requests == 1
+        assert store.stats.get_requests == 2
+        assert store.stats.bytes_written == 100
+        assert store.stats.bytes_read == 110
+
+    def test_snapshot_diff(self, store):
+        store.put_object("test", "k", b"x" * 100)
+        snapshot = store.stats.snapshot()
+        store.get_object("test", "k")
+        delta = store.stats.diff(snapshot)
+        assert delta.get_requests == 1
+        assert delta.put_requests == 0
+        assert delta.bytes_read == 100
+
+    def test_total_bytes(self, store):
+        store.put_object("test", "a", b"12")
+        store.put_object("test", "b", b"345")
+        assert store.total_bytes() == 5
+        assert store.bucket_bytes("test") == 5

@@ -1,0 +1,60 @@
+"""Tests for the OSSFS file-system adapter."""
+
+import pytest
+
+from repro.oss.object_store import ObjectStorageService
+from repro.oss.ossfs import OssFileSystem
+
+
+@pytest.fixture
+def fs() -> OssFileSystem:
+    return OssFileSystem(ObjectStorageService(), "repo")
+
+
+class TestOssFileSystem:
+    def test_write_read_roundtrip(self, fs):
+        fs.write_file("/data/file.bin", b"payload")
+        assert fs.read_file("/data/file.bin") == b"payload"
+
+    def test_read_missing_raises_file_not_found(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.read_file("missing")
+
+    def test_read_range(self, fs):
+        fs.write_file("f", b"0123456789")
+        assert fs.read_range("f", 3, 4) == b"3456"
+
+    def test_read_range_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.read_range("missing", 0, 1)
+
+    def test_exists_and_delete(self, fs):
+        fs.write_file("f", b"x")
+        assert fs.exists("f")
+        assert fs.delete_file("f") is True
+        assert not fs.exists("f")
+        assert fs.delete_file("f") is False
+
+    def test_list_dir(self, fs):
+        fs.write_file("dir/a", b"1")
+        fs.write_file("dir/b", b"2")
+        fs.write_file("other/c", b"3")
+        assert fs.list_dir("dir") == ["dir/a", "dir/b"]
+
+    def test_file_size(self, fs):
+        fs.write_file("f", b"12345")
+        assert fs.file_size("f") == 5
+        with pytest.raises(FileNotFoundError):
+            fs.file_size("missing")
+
+    def test_leading_slash_normalised(self, fs):
+        fs.write_file("/f", b"x")
+        assert fs.read_file("f") == b"x"
+
+    def test_every_touch_costs_a_request(self, fs):
+        oss = fs._oss
+        before = oss.stats.get_requests + oss.stats.put_requests
+        fs.write_file("f", b"x")
+        fs.read_file("f")
+        after = oss.stats.get_requests + oss.stats.put_requests
+        assert after - before == 2

@@ -1,0 +1,86 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.sim.cost_model import MIB, CostModel
+
+
+class TestChunkingCosts:
+    def test_rabin_is_most_expensive_cdc(self):
+        model = CostModel()
+        size = 1 << 20
+        rabin = model.chunking_cost("rabin", size)
+        gear = model.chunking_cost("gear", size)
+        fastcdc = model.chunking_cost("fastcdc", size)
+        assert rabin > gear >= fastcdc
+
+    def test_skip_is_cheapest_scan(self):
+        model = CostModel()
+        size = 1 << 20
+        assert model.chunking_cost("skip", size) < model.chunking_cost("fastcdc", size)
+        assert model.chunking_cost("skip", size) < model.chunking_cost("fixed", size) * 10
+
+    def test_cost_scales_linearly_with_bytes(self):
+        model = CostModel()
+        assert model.chunking_cost("rabin", 2000) == pytest.approx(
+            2 * model.chunking_cost("rabin", 1000)
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().chunking_cost("magic", 100)
+
+    def test_zero_bytes_cost_nothing(self):
+        assert CostModel().chunking_cost("rabin", 0) == 0.0
+
+
+class TestNetworkCosts:
+    def test_read_includes_latency(self):
+        model = CostModel()
+        assert model.oss_read_time(0) == pytest.approx(model.oss_request_latency)
+
+    def test_read_bandwidth_term(self):
+        model = CostModel()
+        one_mib = model.oss_read_time(1 << 20) - model.oss_request_latency
+        assert one_mib == pytest.approx((1 << 20) / model.oss_read_bandwidth)
+
+    def test_channels_scale_bandwidth(self):
+        model = CostModel()
+        single = model.oss_read_time(64 << 20) - model.oss_request_latency
+        dual = model.oss_read_time(64 << 20, channels=2) - model.oss_request_latency
+        assert dual == pytest.approx(single / 2)
+
+    def test_channels_capped_by_nic(self):
+        model = CostModel()
+        many = model.oss_read_time(64 << 20, channels=1000) - model.oss_request_latency
+        assert many == pytest.approx((64 << 20) / model.node_nic_bandwidth)
+
+    def test_invalid_channel_count_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().oss_read_time(100, channels=0)
+        with pytest.raises(ValueError):
+            CostModel().oss_write_time(100, channels=-1)
+
+    def test_write_time_structure(self):
+        model = CostModel()
+        expected = model.oss_request_latency + (1 << 20) / model.oss_write_bandwidth
+        assert model.oss_write_time(1 << 20) == pytest.approx(expected)
+
+
+class TestCalibration:
+    """The magnitudes the paper's experiments rely on."""
+
+    def test_single_channel_read_near_40_mbps(self):
+        model = CostModel()
+        seconds = model.oss_read_time(100 << 20)
+        assert 30 * MIB <= (100 << 20) / seconds <= 45 * MIB
+
+    def test_restore_cpu_ceiling_near_208_mbps(self):
+        model = CostModel()
+        ceiling = 1 / model.cpu_restore_per_byte / MIB
+        assert 180 <= ceiling <= 230
+
+    def test_frozen(self):
+        model = CostModel()
+        with pytest.raises(AttributeError):
+            model.oss_request_latency = 0.5

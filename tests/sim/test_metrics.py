@@ -1,0 +1,114 @@
+"""Tests for time breakdowns and counters."""
+
+import pytest
+
+from repro.sim.metrics import CPU_CATEGORIES, Counters, TimeBreakdown
+
+
+class TestTimeBreakdown:
+    def test_charge_accumulates(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("chunking", 0.5)
+        breakdown.charge("chunking", 0.25)
+        assert breakdown.chunking == pytest.approx(0.75)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().charge("tea_break", 1.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().charge("other", -0.1)
+
+    def test_cpu_seconds_sums_cpu_categories(self):
+        breakdown = TimeBreakdown()
+        for index, category in enumerate(CPU_CATEGORIES, start=1):
+            breakdown.charge(category, float(index))
+        assert breakdown.cpu_seconds() == pytest.approx(sum(range(1, 5)))
+
+    def test_network_not_counted_as_cpu(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("upload", 3.0)
+        assert breakdown.cpu_seconds() == 0.0
+        assert breakdown.network_seconds() == 3.0
+
+    def test_pipelined_elapsed_is_max_of_sides(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("chunking", 2.0)
+        breakdown.charge("upload", 5.0)
+        breakdown.charge("download", 1.0)
+        assert breakdown.elapsed_pipelined() == 5.0
+
+    def test_pipelined_full_duplex(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("upload", 2.0)
+        breakdown.charge("download", 3.0)
+        # Upload and download overlap; the max wins, not the sum.
+        assert breakdown.elapsed_pipelined() == 3.0
+
+    def test_serialized_elapsed_is_sum(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("chunking", 2.0)
+        breakdown.charge("upload", 5.0)
+        assert breakdown.elapsed_serialized() == 7.0
+
+    def test_bottleneck_flip(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("upload", 5.0)
+        assert breakdown.bottleneck() == "network"
+        breakdown.charge("fingerprinting", 6.0)
+        assert breakdown.bottleneck() == "cpu"
+
+    def test_cpu_shares_sum_to_one(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("chunking", 1.0)
+        breakdown.charge("fingerprinting", 3.0)
+        shares = breakdown.cpu_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["fingerprinting"] == pytest.approx(0.75)
+
+    def test_cpu_shares_zero_when_empty(self):
+        assert all(v == 0.0 for v in TimeBreakdown().cpu_shares().values())
+
+    def test_merged_with(self):
+        left = TimeBreakdown()
+        left.charge("chunking", 1.0)
+        right = TimeBreakdown()
+        right.charge("chunking", 2.0)
+        right.charge("upload", 4.0)
+        merged = left.merged_with(right)
+        assert merged.chunking == 3.0
+        assert merged.upload == 4.0
+        # Inputs untouched.
+        assert left.chunking == 1.0
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        counters.add("chunks")
+        counters.add("chunks", 4)
+        assert counters.get("chunks") == 5
+
+    def test_unknown_counter_is_zero(self):
+        assert Counters().get("never_seen") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().add("chunks", -1)
+
+    def test_merged_with(self):
+        left = Counters()
+        left.add("a", 1)
+        right = Counters()
+        right.add("a", 2)
+        right.add("b", 3)
+        merged = left.merged_with(right)
+        assert merged.get("a") == 3
+        assert merged.get("b") == 3
+        assert left.get("a") == 1
+
+    def test_as_dict(self):
+        counters = Counters()
+        counters.add("x", 2)
+        assert counters.as_dict() == {"x": 2}

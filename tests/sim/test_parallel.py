@@ -1,0 +1,63 @@
+"""Tests for the parallelism arithmetic."""
+
+import pytest
+
+from repro.sim.parallel import (
+    contended_time,
+    parallel_channel_time,
+    pipelined_time,
+    serialized_time,
+)
+
+
+class TestPipelines:
+    def test_pipelined_is_max(self):
+        assert pipelined_time([1.0, 3.0, 2.0]) == 3.0
+
+    def test_pipelined_empty_is_zero(self):
+        assert pipelined_time([]) == 0.0
+
+    def test_pipelined_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pipelined_time([1.0, -1.0])
+
+    def test_serialized_is_sum(self):
+        assert serialized_time([1.0, 3.0, 2.0]) == 6.0
+
+    def test_serialized_rejects_negative(self):
+        with pytest.raises(ValueError):
+            serialized_time([-1.0])
+
+
+class TestParallelChannels:
+    def test_linear_scaling(self):
+        single = parallel_channel_time(100.0, 10.0, 1)
+        four = parallel_channel_time(100.0, 10.0, 4)
+        assert four == pytest.approx(single / 4)
+
+    def test_cap_limits_aggregate(self):
+        capped = parallel_channel_time(100.0, 10.0, 100, cap=20.0)
+        assert capped == pytest.approx(100.0 / 20.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            parallel_channel_time(100.0, 10.0, 0)
+        with pytest.raises(ValueError):
+            parallel_channel_time(100.0, 0.0, 1)
+
+
+class TestContention:
+    def test_fits_in_one_wave(self):
+        assert contended_time(2.0, jobs=3, slots=4) == 2.0
+
+    def test_queues_in_waves(self):
+        assert contended_time(2.0, jobs=9, slots=4) == 6.0
+
+    def test_zero_jobs(self):
+        assert contended_time(2.0, jobs=0, slots=4) == 0.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            contended_time(1.0, jobs=-1, slots=2)
+        with pytest.raises(ValueError):
+            contended_time(1.0, jobs=1, slots=0)

@@ -1,0 +1,136 @@
+"""Tests for the S-DB and R-Data workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    BackupFile,
+    DatasetVersion,
+    RDataConfig,
+    RDataGenerator,
+    SDBConfig,
+    SDBGenerator,
+)
+
+SDB_SMALL = SDBConfig(
+    table_count=2, initial_table_bytes=256 * 1024, version_count=5, seed=42
+)
+RDATA_SMALL = RDataConfig(
+    file_count=16, version_count=5, max_file_bytes=128 * 1024, seed=42
+)
+
+
+class TestDatasetStructures:
+    def test_backup_file_size(self):
+        assert BackupFile("p", b"1234").size == 4
+
+    def test_version_total_bytes(self):
+        version = DatasetVersion(0, [BackupFile("a", b"12"), BackupFile("b", b"345")])
+        assert version.total_bytes == 5
+
+
+class TestSDBGenerator:
+    def test_deterministic_given_seed(self):
+        first = SDBGenerator(SDB_SMALL).versions()
+        second = SDBGenerator(SDB_SMALL).versions()
+        for left, right in zip(first, second):
+            assert [f.data for f in left.files] == [f.data for f in right.files]
+
+    def test_version_count_and_paths(self):
+        versions = SDBGenerator(SDB_SMALL).versions()
+        assert len(versions) == 5
+        assert all(len(v.files) == 2 for v in versions)
+        paths = {f.path for v in versions for f in v.files}
+        assert len(paths) == 2
+
+    def test_duplication_ratio_targets_spread(self):
+        generator = SDBGenerator(SDBConfig(table_count=4))
+        ratios = [generator.table_duplication_ratio(i) for i in range(4)]
+        assert ratios[0] == pytest.approx(0.65)
+        assert ratios[-1] == pytest.approx(0.95)
+        assert ratios == sorted(ratios)
+
+    def test_versions_actually_change(self):
+        versions = SDBGenerator(SDB_SMALL).versions()
+        assert versions[0].files[0].data != versions[1].files[0].data
+
+    def test_observed_duplication_near_target(self):
+        config = SDBConfig(
+            table_count=1, initial_table_bytes=512 * 1024, version_count=6,
+            duplication_ratio_min=0.9, duplication_ratio_max=0.9, seed=1,
+        )
+        generator = SDBGenerator(config)
+        generator.versions()
+        assert generator.summary().average_duplication_ratio == pytest.approx(0.9, abs=0.06)
+
+    def test_summary_fields(self):
+        generator = SDBGenerator(SDB_SMALL)
+        generator.versions()
+        summary = generator.summary()
+        assert summary.name == "S-DB"
+        assert summary.version_count == 5
+        assert summary.file_count == 2
+        assert summary.total_bytes > 0
+        rows = dict(summary.rows())
+        assert rows["Dataset name"] == "S-DB"
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SDBConfig(table_count=0)
+        with pytest.raises(ValueError):
+            SDBConfig(duplication_ratio_min=0.9, duplication_ratio_max=0.8)
+        with pytest.raises(ValueError):
+            SDBConfig(self_reference=1.5)
+
+
+class TestRDataGenerator:
+    def test_deterministic_given_seed(self):
+        first = RDataGenerator(RDATA_SMALL).versions()
+        second = RDataGenerator(RDATA_SMALL).versions()
+        for left, right in zip(first, second):
+            assert [f.data for f in left.files] == [f.data for f in right.files]
+
+    def test_population_size(self):
+        versions = RDataGenerator(RDATA_SMALL).versions()
+        assert len(versions) == 5
+        assert len(versions[0].files) == 16
+
+    def test_file_sizes_bounded(self):
+        versions = RDataGenerator(RDATA_SMALL).versions()
+        for item in versions[0].files:
+            assert RDATA_SMALL.min_file_bytes <= item.size <= RDATA_SMALL.max_file_bytes
+
+    def test_most_files_unchanged_between_versions(self):
+        versions = RDataGenerator(RDATA_SMALL).versions()
+        before = {f.path: f.data for f in versions[1].files}
+        after = {f.path: f.data for f in versions[2].files}
+        shared = set(before) & set(after)
+        unchanged = sum(1 for path in shared if before[path] == after[path])
+        assert unchanged / len(shared) > 0.5
+
+    def test_file_churn_creates_and_deletes(self):
+        config = RDataConfig(
+            file_count=32, version_count=6, churn_file_fraction=0.1,
+            max_file_bytes=64 * 1024, seed=3,
+        )
+        versions = RDataGenerator(config).versions()
+        first_paths = {f.path for f in versions[0].files}
+        last_paths = {f.path for f in versions[-1].files}
+        assert last_paths - first_paths  # creations
+        assert first_paths - last_paths  # deletions
+
+    def test_summary_matches_table1_shape(self):
+        generator = RDataGenerator(RDATA_SMALL)
+        generator.versions()
+        summary = generator.summary()
+        assert summary.name == "R-Data"
+        assert summary.version_count == 5
+        assert 0.8 <= summary.average_duplication_ratio <= 1.0
+        assert summary.self_reference == pytest.approx(0.001)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RDataConfig(file_count=2)
+        with pytest.raises(ValueError):
+            RDataConfig(duplication_ratio=1.5)
+        with pytest.raises(ValueError):
+            RDataConfig(modified_file_fraction=0.0)
