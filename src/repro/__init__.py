@@ -20,7 +20,9 @@ figure of the paper's evaluation.
 
 from repro.core.config import SlimStoreConfig
 from repro.core.system import BackupReport, RestoreReport, SlimStore, SpaceReport
+from repro.oss.faults import FaultPolicy
 from repro.oss.object_store import ObjectStorageService
+from repro.oss.retry import RetryPolicy
 from repro.sim.cost_model import CostModel
 
 __version__ = "1.0.0"
@@ -32,6 +34,8 @@ __all__ = [
     "RestoreReport",
     "SpaceReport",
     "ObjectStorageService",
+    "FaultPolicy",
+    "RetryPolicy",
     "CostModel",
     "__version__",
 ]

@@ -93,7 +93,7 @@ def _cmd_delete(args: argparse.Namespace) -> int:
 
 def _cmd_scrub(args: argparse.Namespace) -> int:
     store = open_repository(args.repo)
-    report = store.scrub()
+    report = store.scrub(repair=args.repair)
     print(
         f"containers: {report.containers_checked} checked, "
         f"{report.chunks_verified} chunks verified, "
@@ -105,11 +105,20 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
         f"({report.redirected_records} via global-index redirect), "
         f"{len(report.unresolvable_records)} unresolvable"
     )
-    if report.clean:
+    if args.repair and report.corrupt_chunks:
+        print(
+            f"repair: {report.chunks_repaired} chunks healed in "
+            f"{report.containers_rewritten} containers, "
+            f"{len(report.quarantined_chunks)} quarantined"
+        )
+    if report.clean or (args.repair and report.fully_repaired
+                        and not report.unresolvable_records):
         print("repository is clean")
         return 0
     for cid, fp in report.corrupt_chunks:
         print(f"  CORRUPT chunk {fp.hex()[:12]} in container {cid}", file=sys.stderr)
+    for cid, fp in report.quarantined_chunks:
+        print(f"  QUARANTINED chunk {fp.hex()[:12]} in container {cid}", file=sys.stderr)
     for path, version, fp in report.unresolvable_records:
         print(f"  DANGLING {path}@v{version} chunk {fp.hex()[:12]}", file=sys.stderr)
     return 1
@@ -165,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     scrub = commands.add_parser("scrub", help="verify repository integrity")
     scrub.add_argument("repo")
+    scrub.add_argument("--repair", action="store_true",
+                       help="heal corrupt chunks from healthy copies")
     scrub.set_defaults(handler=_cmd_scrub)
     return parser
 

@@ -278,6 +278,19 @@ class ContainerStore:
             self._bucket, self.META_KEY.format(cid=meta.container_id), meta.to_bytes()
         )
 
+    def replace_data(self, container_id: int, payload: bytes) -> None:
+        """Overwrite a container's data object in place.
+
+        Scrub repair uses this to persist a payload whose corrupt chunks
+        were patched from healthy copies; offsets are unchanged, so the
+        existing metadata stays valid.
+        """
+        if container_id not in self._live_ids:
+            raise ObjectNotFoundError(self._bucket, self.DATA_KEY.format(cid=container_id))
+        self._oss.put_object(
+            self._bucket, self.DATA_KEY.format(cid=container_id), payload
+        )
+
     def rewrite(self, container_id: int) -> int:
         """Drop deleted chunks from the payload; returns bytes reclaimed.
 

@@ -33,10 +33,15 @@ from repro.core.config import SlimStoreConfig
 from repro.core.container import ContainerBuilder
 from repro.core.recipe import ChunkRecord, Recipe, RecipeHandle, RecipeIndex
 from repro.core.storage import StorageLayer
+from repro.errors import RetryExhaustedError, TransientOSSError
 from repro.fingerprint.hashing import fingerprint
 from repro.fingerprint.sampling import is_sampled
 from repro.sim.cost_model import CostModel
 from repro.sim.metrics import Counters, TimeBreakdown
+
+#: Exceptions that flip a backup job into degraded mode instead of
+#: aborting it: the dedup base on OSS is (temporarily) unreachable.
+DEDUP_LOOKUP_FAILURES = (TransientOSSError, RetryExhaustedError)
 
 #: Maximum segment recipes held in the L-node dedup cache at once.
 DEDUP_CACHE_SEGMENTS = 256
@@ -118,6 +123,12 @@ class BackupResult:
     #: container id → (referenced chunk count, referenced bytes) for this
     #: version, feeding sparse-container detection (Section V-B).
     referenced_containers: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: True when the dedup base became unreachable mid-job and chunks were
+    #: stored as unique without duplicate verification (degraded mode).
+    degraded: bool = False
+    #: Fingerprints persisted while degraded; the G-node's reverse
+    #: deduplication reclaims the redundancy they may carry.
+    degraded_fps: list[bytes] = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -198,6 +209,10 @@ class BackupEngine:
             counters=counters,
             rewrite_containers=rewrite_containers or set(),
         )
+        if counters.get("degraded_events"):
+            # The detected base's recipe could not be fetched: the whole
+            # job runs without duplicate verification.
+            job.degraded = True
         job.run()
         return job.finish()
 
@@ -227,8 +242,17 @@ class BackupEngine:
 
         base_path, base_version = base
         before = self.storage.oss.stats.snapshot()
-        handle = self.storage.recipes.open_recipe(base_path, base_version)
-        recipe_index = self.storage.recipes.get_recipe_index(base_path, base_version)
+        try:
+            handle = self.storage.recipes.open_recipe(base_path, base_version)
+            recipe_index = self.storage.recipes.get_recipe_index(base_path, base_version)
+        except DEDUP_LOOKUP_FAILURES:
+            # Degraded mode (Section VI-A rationale): rather than abort the
+            # backup, store everything as unique and let reverse
+            # deduplication reclaim the redundancy out-of-line.
+            downloaded = self.storage.oss.stats.diff(before)
+            breakdown.charge("download", downloaded.read_seconds)
+            counters.add("degraded_events")
+            return None, None
         downloaded = self.storage.oss.stats.diff(before)
         breakdown.charge("download", downloaded.read_seconds)
         counters.add("recipe_index_fetches")
@@ -312,6 +336,10 @@ class _JobState:
         self.rewrite_containers = rewrite_containers or set()
         #: Skip-chunking state: location of the last matched record.
         self.skip_from: tuple[int, int] | None = None
+        #: Degraded mode: the dedup base became unreachable; chunks are
+        #: stored as unique and flagged for out-of-line reclamation.
+        self.degraded = False
+        self.degraded_fps: list[bytes] = []
 
     # --- cost helpers ----------------------------------------------------
     def _charge_scan(self, nbytes: int) -> None:
@@ -355,6 +383,10 @@ class _JobState:
             ordinal = self.skip_from[0] + 1
             if ordinal < self.handle.segment_count:
                 self._prefetch_segment(ordinal)
+                if self.skip_from is None:
+                    # Prefetch failed and flipped the job into degraded
+                    # mode; fall back to CDC for the rest of the stream.
+                    return False
                 successor = self.cache.successor(self.skip_from)
         if successor is None:
             self.skip_from = None
@@ -499,6 +531,8 @@ class _JobState:
             # Logical locality: chunks near the match "will also appear in
             # this segment with a high probability", so prefetch a span of
             # consecutive segment recipes starting at the match.
+            if self.handle is None:
+                break  # a prefetch failure degraded the job mid-loop
             if not self.cache.has_segment(ordinal):
                 self._prefetch_segment(ordinal)
                 fetched = True
@@ -506,15 +540,37 @@ class _JobState:
 
     def _prefetch_segment(self, ordinal: int) -> None:
         """Fetch a prefetch span of segment recipes in one ranged GET."""
+        if self.handle is None:
+            return
         span = max(1, self.config.prefetch_segment_span)
         span = min(span, self.handle.segment_count - ordinal)
         before = self.storage.oss.stats.snapshot()
-        segments = self.handle.get_segment_range(ordinal, span)
+        try:
+            segments = self.handle.get_segment_range(ordinal, span)
+        except DEDUP_LOOKUP_FAILURES:
+            self.breakdown.charge(
+                "download", self.storage.oss.stats.diff(before).read_seconds
+            )
+            self._enter_degraded_mode()
+            return
         downloaded = self.storage.oss.stats.diff(before)
         self.breakdown.charge("download", downloaded.read_seconds)
         for offset, records in enumerate(segments):
             self.counters.add("segments_prefetched")
             self.cache.insert_segment(ordinal + offset, records)
+
+    def _enter_degraded_mode(self) -> None:
+        """Stop consulting the unreachable dedup base for this job.
+
+        Chunks the cache cannot resolve are stored as unique from here
+        on; the version is flagged degraded so the G-node's reverse
+        deduplication reclaims whatever redundancy that introduced.
+        """
+        self.counters.add("degraded_events")
+        self.degraded = True
+        self.handle = None
+        self.recipe_index = None
+        self.skip_from = None
 
     # --- record emission --------------------------------------------------------
     def _emit_duplicate(self, position: int, end: int, base: ChunkRecord) -> None:
@@ -551,6 +607,11 @@ class _JobState:
             duplicate_times=0,
         )
         self.counters.add("unique_chunks")
+        if self.degraded:
+            # Persisted without duplicate verification: possibly redundant
+            # until the next reverse-dedup pass inspects it.
+            self.counters.add("degraded_chunks")
+            self.degraded_fps.append(fp)
         self.stored_chunk_bytes += len(chunk)
         self.local_records[fp] = record
         self._append_record(record, position)
@@ -712,4 +773,6 @@ class _JobState:
             uploaded_bytes=self.uploaded_bytes,
             new_container_ids=self.new_container_ids,
             referenced_containers=referenced,
+            degraded=self.degraded,
+            degraded_fps=self.degraded_fps,
         )

@@ -25,9 +25,13 @@ from repro.core.config import SlimStoreConfig
 from repro.core.container import ContainerMeta
 from repro.core.dedup import BackupResult
 from repro.core.storage import StorageLayer
-from repro.errors import ObjectNotFoundError
+from repro.errors import ObjectNotFoundError, RetryExhaustedError, TransientOSSError
 from repro.sim.cost_model import CostModel
 from repro.sim.metrics import Counters, TimeBreakdown
+
+#: Sentinel: a global-index lookup failed (OSS unreachable), which is
+#: different from "fingerprint not indexed" (None).
+_LOOKUP_FAILED = object()
 
 
 @dataclass
@@ -71,8 +75,18 @@ class GNode:
     # ------------------------------------------------------------------
     # Global reverse deduplication (Section VI-A)
     # ------------------------------------------------------------------
-    def reverse_dedup(self, new_container_ids: list[int]) -> ReverseDedupReport:
-        """Exact-deduplicate the chunks of freshly written containers."""
+    def reverse_dedup(
+        self,
+        new_container_ids: list[int],
+        watch_fps: set[bytes] | None = None,
+    ) -> ReverseDedupReport:
+        """Exact-deduplicate the chunks of freshly written containers.
+
+        ``watch_fps`` names fingerprints a degraded backup stored without
+        duplicate verification; every one this pass reverse-deduplicates
+        is counted as ``degraded_reclaimed``, proving the out-of-line
+        reclamation the degraded mode relies on.
+        """
         report = ReverseDedupReport()
         index = self.storage.global_index
         containers = self.storage.containers
@@ -97,6 +111,10 @@ class GNode:
                     report.counters.add("bloom_fast_inserts")
                     continue
                 owner = self._index_lookup(fp, report)
+                if owner is _LOOKUP_FAILED:
+                    # OSS unreachable even after retries: leave the index
+                    # untouched so a later pass can still dedup this chunk.
+                    continue
                 if owner is None or owner == cid:
                     index.assign(fp, cid)
                     continue
@@ -107,14 +125,20 @@ class GNode:
                     report.duplicates_removed += 1
                     report.bytes_marked_deleted += entry.size
                     dirty.add(owner)
+                    if watch_fps is not None and fp in watch_fps:
+                        report.counters.add("degraded_reclaimed")
                 index.assign(fp, cid)
 
         self._persist_dirty_metas(meta_cache, dirty, report)
         return report
 
-    def _index_lookup(self, fp: bytes, report: ReverseDedupReport) -> int | None:
+    def _index_lookup(self, fp: bytes, report: ReverseDedupReport):
         before = self.storage.oss.stats.snapshot()
-        owner = self.storage.global_index.lookup(fp)
+        try:
+            owner = self.storage.global_index.lookup(fp)
+        except (TransientOSSError, RetryExhaustedError):
+            report.counters.add("gdedup_lookup_failures")
+            owner = _LOOKUP_FAILED
         report.breakdown.charge(
             "download", self.storage.oss.stats.diff(before).read_seconds
         )

@@ -14,13 +14,14 @@ from repro.core.global_index import GlobalIndex
 from repro.core.recipe import RecipeStore
 from repro.core.similar_index import SimilarFileIndex
 from repro.oss.object_store import ObjectStorageService
+from repro.oss.retry import RetryingObjectStore, RetryPolicy
 
 
 @dataclass
 class StorageLayer:
     """The OSS-resident storage layer shared by every compute node."""
 
-    oss: ObjectStorageService
+    oss: ObjectStorageService | RetryingObjectStore
     containers: ContainerStore
     recipes: RecipeStore
     similar_index: SimilarFileIndex
@@ -34,14 +35,21 @@ class StorageLayer:
         index_bucket: str = "slimstore-index",
         bloom_capacity: int = 1 << 20,
         use_bloom: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ) -> "StorageLayer":
-        """Create all stores on one OSS endpoint."""
+        """Create all stores on one OSS endpoint.
+
+        With a ``retry_policy``, every component talks to OSS through a
+        :class:`~repro.oss.retry.RetryingObjectStore`, so transient OSS
+        failures are absorbed below the dedup/restore engines.
+        """
+        endpoint = oss if retry_policy is None else RetryingObjectStore(oss, retry_policy)
         return cls(
-            oss=oss,
-            containers=ContainerStore(oss, bucket),
-            recipes=RecipeStore(oss, bucket),
-            similar_index=SimilarFileIndex(oss, bucket),
+            oss=endpoint,
+            containers=ContainerStore(endpoint, bucket),
+            recipes=RecipeStore(endpoint, bucket),
+            similar_index=SimilarFileIndex(endpoint, bucket),
             global_index=GlobalIndex(
-                oss, index_bucket, bloom_capacity=bloom_capacity, use_bloom=use_bloom
+                endpoint, index_bucket, bloom_capacity=bloom_capacity, use_bloom=use_bloom
             ),
         )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import SlimStoreConfig
 from repro.core.dedup import BackupResult
@@ -26,8 +26,9 @@ from repro.core.lnode import LNode
 from repro.core.restore import RestoreResult
 from repro.core.snapshot import Snapshot, SnapshotStore
 from repro.core.storage import StorageLayer
-from repro.errors import VersionNotFoundError
+from repro.errors import RetryExhaustedError, TransientOSSError, VersionNotFoundError
 from repro.oss.object_store import ObjectStorageService
+from repro.oss.retry import RetryPolicy
 from repro.sim.cost_model import CostModel
 
 
@@ -38,6 +39,9 @@ class BackupReport:
     result: BackupResult
     reverse_dedup: ReverseDedupReport | None = None
     compaction: CompactionReport | None = None
+    #: True when this version was persisted (or left) without complete
+    #: dedup verification; :meth:`SlimStore.reclaim_degraded` clears it.
+    degraded: bool = False
 
     @property
     def path(self) -> str:
@@ -92,6 +96,7 @@ class VersionCatalog:
         self._refs: dict[tuple[str, int], set[int]] = {}
         self._garbage: dict[tuple[str, int], set[int]] = {}
         self._refcount: Counter[int] = Counter()
+        self._degraded: set[tuple[str, int]] = set()
 
     # --- persistence ------------------------------------------------------
     def to_json(self) -> str:
@@ -107,6 +112,7 @@ class VersionCatalog:
                     [path, version, sorted(cids)]
                     for (path, version), cids in sorted(self._garbage.items())
                 ],
+                "degraded": [list(key) for key in sorted(self._degraded)],
             }
         )
 
@@ -122,7 +128,27 @@ class VersionCatalog:
                 catalog._refcount[cid] += 1
         for path, version, cids in raw["garbage"]:
             catalog._garbage[(path, version)] = set(cids)
+        # Catalogs persisted before degraded-mode tracking lack the key.
+        for path, version in raw.get("degraded", []):
+            catalog._degraded.add((path, version))
         return catalog
+
+    # --- degraded-version tracking -----------------------------------------
+    def mark_degraded(self, path: str, version: int) -> None:
+        """Flag a version whose dedup verification is incomplete."""
+        self._degraded.add((path, version))
+
+    def clear_degraded(self, path: str, version: int) -> None:
+        """Clear the degraded flag after a successful reclamation pass."""
+        self._degraded.discard((path, version))
+
+    def is_degraded(self, path: str, version: int) -> bool:
+        """True while the version awaits out-of-line reclamation."""
+        return (path, version) in self._degraded
+
+    def degraded_versions(self) -> list[tuple[str, int]]:
+        """All versions flagged degraded, sorted."""
+        return sorted(self._degraded)
 
     def register(self, path: str, version: int, referenced: set[int]) -> None:
         """Mark phase: record references and diff against the predecessor."""
@@ -156,6 +182,7 @@ class VersionCatalog:
         if key not in self._refs:
             raise VersionNotFoundError(path, version)
         self._versions[path].remove(version)
+        self._degraded.discard(key)
         references = self._refs.pop(key)
         for cid in references:
             self._refcount[cid] -= 1
@@ -172,6 +199,7 @@ class SlimStore:
         oss: ObjectStorageService | None = None,
         cost_model: CostModel | None = None,
         bucket: str = "slimstore",
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.config = config or SlimStoreConfig()
         self.cost_model = cost_model or CostModel()
@@ -183,6 +211,7 @@ class SlimStore:
             index_bucket=f"{bucket}-index",
             bloom_capacity=self.config.global_bloom_capacity,
             use_bloom=self.config.gdedup_bloom_filter,
+            retry_policy=retry_policy,
         )
         self.lnodes = [
             LNode(i, self.config, self.storage, self.cost_model)
@@ -190,7 +219,9 @@ class SlimStore:
         ]
         self.gnode = GNode(self.config, self.storage, self.cost_model)
         self.catalog = VersionCatalog()
-        self.snapshots = SnapshotStore(self.oss, bucket)
+        # Snapshot metadata and the catalog ride the same (possibly
+        # retrying) endpoint as the rest of the storage layer.
+        self.snapshots = SnapshotStore(self.storage.oss, bucket)
         self._next_lnode = 0
 
     CATALOG_KEY = "catalog/state.json"
@@ -209,15 +240,15 @@ class SlimStore:
         self.storage.global_index.recover()
         self.snapshots.recover()
         payload = None
-        if self.oss.peek_size(self.bucket, self.CATALOG_KEY) is not None:
-            payload = self.oss.get_object(self.bucket, self.CATALOG_KEY)
+        if self.storage.oss.peek_size(self.bucket, self.CATALOG_KEY) is not None:
+            payload = self.storage.oss.get_object(self.bucket, self.CATALOG_KEY)
         if payload is None:
             return False
         self.catalog = VersionCatalog.from_json(payload.decode())
         return True
 
     def _persist_catalog(self) -> None:
-        self.oss.put_object(
+        self.storage.oss.put_object(
             self.bucket, self.CATALOG_KEY, self.catalog.to_json().encode()
         )
 
@@ -239,16 +270,37 @@ class SlimStore:
 
         Runs the G-node's offline jobs afterwards unless ``run_gnode`` is
         False (or the corresponding config switches are off).
+
+        A G-node pass that cannot reach OSS (even after retries) never
+        fails the backup: the version is flagged ``degraded`` and a later
+        :meth:`reclaim_degraded` pass finishes the space optimisation.
         """
         node = self._pick_lnode()
         result = node.backup(path, data, rewrite_containers=rewrite_containers)
 
+        degraded = result.degraded
         reverse_report: ReverseDedupReport | None = None
         compaction_report: CompactionReport | None = None
         if run_gnode and self.config.reverse_dedup:
-            reverse_report = self.gnode.reverse_dedup(result.new_container_ids)
+            watch = set(result.degraded_fps) if result.degraded_fps else None
+            try:
+                reverse_report = self.gnode.reverse_dedup(
+                    result.new_container_ids, watch_fps=watch
+                )
+            except (TransientOSSError, RetryExhaustedError):
+                degraded = True
+            else:
+                # A complete pass (every lookup answered) settles whatever
+                # reclamation debt the online job accumulated; a partial
+                # one leaves the version degraded for reclaim_degraded().
+                degraded = bool(
+                    reverse_report.counters.get("gdedup_lookup_failures")
+                )
         if run_gnode and self.config.sparse_compaction:
-            compaction_report = self.gnode.compact_sparse(result)
+            try:
+                compaction_report = self.gnode.compact_sparse(result)
+            except (TransientOSSError, RetryExhaustedError):
+                degraded = True
 
         self.catalog.register(
             path, result.version, result.recipe.referenced_containers()
@@ -257,8 +309,10 @@ class SlimStore:
             self.catalog.add_garbage(
                 path, result.version, compaction_report.sparse_containers
             )
+        if degraded:
+            self.catalog.mark_degraded(path, result.version)
         self._persist_catalog()
-        return BackupReport(result, reverse_report, compaction_report)
+        return BackupReport(result, reverse_report, compaction_report, degraded)
 
     def restore(
         self,
@@ -354,15 +408,56 @@ class SlimStore:
         return reclaimed
 
     # --- maintenance -----------------------------------------------------------
-    def scrub(self):
+    def scrub(self, repair: bool = False):
         """Verify repository integrity (containers + every live recipe).
 
-        Returns a :class:`~repro.core.scrub.ScrubReport`; read-only.
+        Returns a :class:`~repro.core.scrub.ScrubReport`.  With ``repair``
+        the scrubber additionally heals corrupt chunks from a healthy copy
+        reachable through the global-index redirect path and rewrites the
+        damaged container, quarantining only truly unrecoverable chunks.
         """
         from repro.core.scrub import RepositoryScrubber
 
         live = {path: self.catalog.versions(path) for path in self.catalog.paths()}
-        return RepositoryScrubber(self.storage).scrub(live)
+        return RepositoryScrubber(self.storage).scrub(live, repair=repair)
+
+    def reclaim_degraded(self) -> ReverseDedupReport | None:
+        """Re-run reverse deduplication over every degraded version.
+
+        A backup taken while OSS misbehaved stored chunks as unique
+        without duplicate verification (degraded mode).  This pass feeds
+        those versions' containers back through the G-node's reverse
+        deduplication: redundant copies are reclaimed out-of-line and the
+        degraded flag is cleared for every version whose pass completed
+        with all index lookups answered.  Returns the merged report, or
+        None when nothing was flagged.
+        """
+        merged: ReverseDedupReport | None = None
+        for path, version in self.catalog.degraded_versions():
+            recipe = self.storage.recipes.get_recipe(path, version)
+            watch = {record.fp for record in recipe.all_records()}
+            report = self.gnode.reverse_dedup(
+                sorted(recipe.referenced_containers()), watch_fps=watch
+            )
+            if merged is None:
+                merged = report
+            else:
+                merged.chunks_scanned += report.chunks_scanned
+                merged.duplicates_removed += report.duplicates_removed
+                merged.bytes_marked_deleted += report.bytes_marked_deleted
+                merged.containers_rewritten += report.containers_rewritten
+                merged.bytes_reclaimed += report.bytes_reclaimed
+                merged.breakdown = merged.breakdown.merged_with(report.breakdown)
+                merged.counters = merged.counters.merged_with(report.counters)
+            if not report.counters.get("gdedup_lookup_failures"):
+                self.catalog.clear_degraded(path, version)
+        if merged is not None:
+            self._persist_catalog()
+        return merged
+
+    def degraded_versions(self) -> list[tuple[str, int]]:
+        """Versions still awaiting out-of-line reclamation."""
+        return self.catalog.degraded_versions()
 
     # --- accounting ---------------------------------------------------------------
     def space_report(self) -> SpaceReport:

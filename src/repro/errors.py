@@ -29,6 +29,37 @@ class BucketNotFoundError(ReproError, KeyError):
         self.bucket = bucket
 
 
+class TransientOSSError(ReproError):
+    """A single OSS request failed transiently (throttle, timeout, reset).
+
+    Retrying the same request may succeed; the fault-injection layer
+    raises this, the retry layer absorbs it.
+    """
+
+    def __init__(self, op: str, bucket: str, key: str, reason: str = "transient") -> None:
+        super().__init__(f"transient OSS failure ({reason}): {op} oss://{bucket}/{key}")
+        self.op = op
+        self.bucket = bucket
+        self.key = key
+        self.reason = reason
+
+
+class RetryExhaustedError(ReproError):
+    """Retries of a transiently failing OSS request ran out.
+
+    Raised by the retry layer after its attempt cap or backoff budget is
+    spent; ``last_error`` is the final :class:`TransientOSSError`.
+    """
+
+    def __init__(self, op: str, attempts: int, last_error: TransientOSSError) -> None:
+        super().__init__(
+            f"retries exhausted after {attempts} attempts: {last_error}"
+        )
+        self.op = op
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class ChunkingError(ReproError):
     """A chunker was misconfigured or fed inconsistent state."""
 

@@ -9,8 +9,10 @@ OSSFS tool the paper uses to point restic at OSS.
 """
 
 from repro.oss.backend import FilesystemBackend, InMemoryBackend, StorageBackend
+from repro.oss.faults import FAULT_OPS, FaultPolicy
 from repro.oss.object_store import ObjectStorageService, OssStats
 from repro.oss.ossfs import OssFileSystem
+from repro.oss.retry import RetryingObjectStore, RetryPolicy
 
 __all__ = [
     "StorageBackend",
@@ -19,4 +21,8 @@ __all__ = [
     "ObjectStorageService",
     "OssStats",
     "OssFileSystem",
+    "FaultPolicy",
+    "FAULT_OPS",
+    "RetryPolicy",
+    "RetryingObjectStore",
 ]

@@ -41,6 +41,14 @@ class StorageBackend(ABC):
         """True if ``key`` currently holds an object."""
         return self.size(key) is not None
 
+    def total_bytes(self) -> int:
+        """Sum of all stored object sizes (handy for space accounting).
+
+        Backends with cheaper bookkeeping (e.g. an in-memory dict) should
+        override this key-by-key default.
+        """
+        return sum(self.size(key) or 0 for key in self.keys())
+
 
 class InMemoryBackend(StorageBackend):
     """Dictionary-backed storage; the default for simulation runs."""
@@ -65,7 +73,7 @@ class InMemoryBackend(StorageBackend):
         return None if data is None else len(data)
 
     def total_bytes(self) -> int:
-        """Sum of all stored object sizes (handy for space accounting)."""
+        """Sum of all stored object sizes, without per-key stat calls."""
         return sum(len(data) for data in self._objects.values())
 
 
@@ -81,16 +89,24 @@ class FilesystemBackend(StorageBackend):
         self._root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
-        if key.startswith("/") or ".." in key.split("/"):
+        if not key or key.startswith("/") or ".." in key.split("/"):
             raise ValueError(f"unsafe object key: {key!r}")
-        return self._root / key
+        path = self._root / key
+        if path == self._root:
+            # Keys like "." normalise to the root directory itself.
+            raise ValueError(f"unsafe object key: {key!r}")
+        return path
 
     def put(self, key: str, data: bytes) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_bytes(data)
-        os.replace(tmp, path)
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def get(self, key: str) -> bytes | None:
         path = self._path(key)

@@ -1,0 +1,156 @@
+"""Fault injection for the simulated OSS.
+
+Real object stores throttle, time out, tear writes and rot bits; the seed
+simulation was perfectly reliable.  :class:`FaultPolicy` decides — from a
+seeded RNG, so every run is deterministic — whether each request fails
+transiently, suffers a latency spike, persists only a prefix (torn write)
+or returns bit-flipped payload (silent read corruption).  The policy is
+installed on an :class:`~repro.oss.object_store.ObjectStorageService` and
+consulted from inside every object operation; injected latency is charged
+through the virtual clock so simulated time stays honest.
+
+Two deterministic schedule controls exist beyond the per-operation rates:
+
+* ``kill_after_requests`` — after N requests the endpoint is "down": every
+  request raises :class:`~repro.errors.TransientOSSError` until
+  :meth:`FaultPolicy.revive` is called (models a full outage);
+* :meth:`FaultPolicy.outage` / :meth:`FaultPolicy.revive` — force the
+  failure rate of selected operations to 1.0 and back (models a partial
+  outage, e.g. reads failing while writes drain).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import TransientOSSError
+from repro.sim.metrics import FaultStats
+
+#: Operations a policy can inject faults into.
+FAULT_OPS = ("get", "put", "delete", "list", "head")
+
+
+@dataclass
+class FaultPolicy:
+    """Seeded, per-operation fault schedule for one OSS endpoint.
+
+    All ``*_error_rate`` fields are independent per-request probabilities
+    in ``[0, 1]``.  The RNG is private and seeded, so a policy replayed
+    against the same request sequence injects the same faults.
+    """
+
+    seed: int = 0
+    #: Transient failure probability per operation type.
+    get_error_rate: float = 0.0
+    put_error_rate: float = 0.0
+    delete_error_rate: float = 0.0
+    list_error_rate: float = 0.0
+    head_error_rate: float = 0.0
+    #: Probability that a failing PUT first persists a prefix of the data
+    #: (a torn write), leaving a corrupt object behind until retried.
+    torn_write_rate: float = 0.0
+    #: Probability that a successful GET returns bit-flipped payload.
+    corrupt_read_rate: float = 0.0
+    #: Probability of an added latency spike on an otherwise good request.
+    latency_spike_rate: float = 0.0
+    #: Virtual seconds one latency spike adds.
+    latency_spike_seconds: float = 0.25
+    #: After this many requests the endpoint fails everything until
+    #: :meth:`revive` (None disables the kill switch).
+    kill_after_requests: int | None = None
+
+    stats: FaultStats = field(default_factory=FaultStats, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._requests_seen = 0
+        self._outage_ops: set[str] = set()
+        for op in FAULT_OPS:
+            rate = getattr(self, f"{op}_error_rate")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{op}_error_rate out of [0, 1]: {rate}")
+        for name in ("torn_write_rate", "corrupt_read_rate", "latency_spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} out of [0, 1]: {rate}")
+
+    # --- schedule controls -------------------------------------------------
+    def outage(self, ops: set[str] | None = None) -> None:
+        """Fail every request of the given operations (default: all)."""
+        bad = (ops or set(FAULT_OPS)) - set(FAULT_OPS)
+        if bad:
+            raise ValueError(f"unknown fault operations: {sorted(bad)}")
+        self._outage_ops = set(ops) if ops is not None else set(FAULT_OPS)
+
+    def revive(self) -> None:
+        """End any outage and re-arm the kill switch counter."""
+        self._outage_ops = set()
+        self.kill_after_requests = None
+
+    @property
+    def is_killed(self) -> bool:
+        """True once the kill switch has tripped (and until revived)."""
+        return (
+            self.kill_after_requests is not None
+            and self._requests_seen > self.kill_after_requests
+        )
+
+    # --- hooks consulted by the object store -------------------------------
+    def before_request(self, op: str, bucket: str, key: str) -> float:
+        """Gate one request; returns extra latency seconds to charge.
+
+        Raises :class:`TransientOSSError` when the request is scheduled to
+        fail.  Called before the backend is touched, so a plain transient
+        failure leaves storage untouched (torn writes are separate, see
+        :meth:`torn_write_prefix`).
+        """
+        self._requests_seen += 1
+        if self.is_killed or op in self._outage_ops:
+            self.stats.faults_injected += 1
+            if self.is_killed:
+                self.stats.killed_requests += 1
+            else:
+                self.stats.transient_errors += 1
+            raise TransientOSSError(op, bucket, key, reason="endpoint down")
+        extra = 0.0
+        if self.latency_spike_rate and self._rng.random() < self.latency_spike_rate:
+            self.stats.faults_injected += 1
+            self.stats.latency_spikes += 1
+            self.stats.latency_injected_seconds += self.latency_spike_seconds
+            extra = self.latency_spike_seconds
+        rate = getattr(self, f"{op}_error_rate", 0.0)
+        if rate and self._rng.random() < rate:
+            self.stats.faults_injected += 1
+            self.stats.transient_errors += 1
+            raise TransientOSSError(op, bucket, key)
+        return extra
+
+    def torn_write_prefix(self, data: bytes) -> bytes | None:
+        """Length-truncated payload if this PUT should tear, else None.
+
+        The caller persists the returned prefix and then raises a
+        :class:`TransientOSSError`; a retried PUT overwrites the torn
+        object with the full payload.
+        """
+        if len(data) < 2 or not self.torn_write_rate:
+            return None
+        if self._rng.random() >= self.torn_write_rate:
+            return None
+        self.stats.faults_injected += 1
+        self.stats.torn_writes += 1
+        cut = self._rng.randrange(1, len(data))
+        return data[:cut]
+
+    def filter_read(self, data: bytes) -> bytes:
+        """Possibly bit-flip one byte of a GET payload (bit rot in flight)."""
+        if not data or not self.corrupt_read_rate:
+            return data
+        if self._rng.random() >= self.corrupt_read_rate:
+            return data
+        self.stats.faults_injected += 1
+        self.stats.corrupt_reads += 1
+        flipped = bytearray(data)
+        position = self._rng.randrange(len(flipped))
+        flipped[position] ^= 1 << self._rng.randrange(8)
+        return bytes(flipped)

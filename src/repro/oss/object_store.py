@@ -10,10 +10,12 @@ numbers in the restore experiments come from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import inspect
+from dataclasses import dataclass
 
-from repro.errors import BucketNotFoundError, ObjectNotFoundError
+from repro.errors import BucketNotFoundError, ObjectNotFoundError, TransientOSSError
 from repro.oss.backend import InMemoryBackend, StorageBackend
+from repro.oss.faults import FaultPolicy
 from repro.sim.clock import SimClock
 from repro.sim.cost_model import CostModel
 
@@ -30,6 +32,8 @@ class OssStats:
     bytes_written: int = 0
     read_seconds: float = 0.0
     write_seconds: float = 0.0
+    faults_injected: int = 0
+    retries_attempted: int = 0
 
     def snapshot(self) -> "OssStats":
         """An independent copy, for before/after diffing in experiments."""
@@ -55,6 +59,10 @@ class ObjectStorageService:
         when none is supplied, so the store is usable standalone.
     backend_factory:
         Callable creating the byte storage for each new bucket.
+    faults:
+        Optional :class:`~repro.oss.faults.FaultPolicy` injecting
+        transient errors, latency spikes, torn writes and corrupt reads
+        into every object operation.
     """
 
     def __init__(
@@ -62,12 +70,42 @@ class ObjectStorageService:
         cost_model: CostModel | None = None,
         clock: SimClock | None = None,
         backend_factory=InMemoryBackend,
+        faults: FaultPolicy | None = None,
     ) -> None:
         self.cost_model = cost_model or CostModel()
         self.clock = clock or SimClock()
         self.stats = OssStats()
+        self.faults = faults
         self._backend_factory = backend_factory
+        self._factory_takes_name = self._accepts_bucket_name(backend_factory)
         self._buckets: dict[str, StorageBackend] = {}
+
+    def set_fault_policy(self, faults: FaultPolicy | None) -> None:
+        """Install (or remove, with None) the fault-injection policy."""
+        self.faults = faults
+
+    @staticmethod
+    def _accepts_bucket_name(factory) -> bool:
+        """True if ``factory`` can take the bucket name positionally.
+
+        Inspected up front instead of probing with ``try/except
+        TypeError`` so a ``TypeError`` raised *inside* the factory
+        propagates instead of being silently retried without arguments.
+        """
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):
+            # Builtins without introspectable signatures: assume no-arg.
+            return False
+        return any(
+            parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.VAR_POSITIONAL,
+            )
+            for parameter in signature.parameters.values()
+        )
 
     # --- bucket management -------------------------------------------------
     def create_bucket(self, bucket: str) -> None:
@@ -77,9 +115,9 @@ class ObjectStorageService:
         backends can give each bucket its own directory) or no arguments.
         """
         if bucket not in self._buckets:
-            try:
+            if self._factory_takes_name:
                 backend = self._backend_factory(bucket)
-            except TypeError:
+            else:
                 backend = self._backend_factory()
             self._buckets[bucket] = backend
 
@@ -109,8 +147,11 @@ class ObjectStorageService:
         its payload): only bandwidth is charged, not another round trip.
         """
         backend = self._backend(bucket)
-        backend.put(key, data)
-        seconds = len(data) / min(
+        extra = self._fault_gate("put", bucket, key)
+        torn = self.faults.torn_write_prefix(data) if self.faults is not None else None
+        payload = data if torn is None else torn
+        backend.put(key, payload)
+        seconds = extra + len(payload) / min(
             self.cost_model.oss_write_bandwidth * channels,
             self.cost_model.node_nic_bandwidth,
         )
@@ -118,8 +159,13 @@ class ObjectStorageService:
             seconds += self.cost_model.oss_request_latency
         self.clock.advance(seconds)
         self.stats.put_requests += 1
-        self.stats.bytes_written += len(data)
+        self.stats.bytes_written += len(payload)
         self.stats.write_seconds += seconds
+        if torn is not None:
+            # The connection dropped mid-upload: a truncated object was
+            # persisted and the client sees a retryable failure.
+            self.stats.faults_injected += 1
+            raise TransientOSSError("put", bucket, key, reason="torn write")
 
     def get_object(
         self, bucket: str, key: str, channels: int = 1, piggyback: bool = False
@@ -130,10 +176,13 @@ class ObjectStorageService:
         as the preceding GET (bandwidth cost only, no extra round trip).
         """
         backend = self._backend(bucket)
+        extra = self._fault_gate("get", bucket, key)
         data = backend.get(key)
         if data is None:
             raise ObjectNotFoundError(bucket, key)
-        self._charge_read(len(data), channels, piggyback)
+        if self.faults is not None:
+            data = self._filter_read(data)
+        self._charge_read(len(data), channels, piggyback, extra)
         return data
 
     def get_range(
@@ -141,6 +190,7 @@ class ObjectStorageService:
     ) -> bytes:
         """Ranged GET of ``length`` bytes starting at ``offset``."""
         backend = self._backend(bucket)
+        extra = self._fault_gate("get", bucket, key)
         data = backend.get(key)
         if data is None:
             raise ObjectNotFoundError(bucket, key)
@@ -149,28 +199,34 @@ class ObjectStorageService:
                 f"range [{offset}, {offset + length}) outside object of "
                 f"{len(data)} bytes: oss://{bucket}/{key}"
             )
-        self._charge_read(length, channels)
-        return data[offset : offset + length]
+        chunk = data[offset : offset + length]
+        if self.faults is not None:
+            chunk = self._filter_read(chunk)
+        self._charge_read(length, channels, extra=extra)
+        return chunk
 
     def delete_object(self, bucket: str, key: str) -> bool:
         """Delete ``key``; returns True if it existed."""
         backend = self._backend(bucket)
+        extra = self._fault_gate("delete", bucket, key)
         existed = backend.delete(key)
-        self.clock.advance(self.cost_model.oss_request_latency)
+        self.clock.advance(self.cost_model.oss_request_latency + extra)
         self.stats.delete_requests += 1
         return existed
 
     def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
         """Sorted keys in ``bucket`` starting with ``prefix``."""
         backend = self._backend(bucket)
-        self.clock.advance(self.cost_model.oss_request_latency)
+        extra = self._fault_gate("list", bucket, prefix)
+        self.clock.advance(self.cost_model.oss_request_latency + extra)
         self.stats.list_requests += 1
         return [key for key in backend.keys() if key.startswith(prefix)]
 
     def head_object(self, bucket: str, key: str) -> int | None:
         """Size of ``key`` in bytes, or None if absent (no payload cost)."""
         backend = self._backend(bucket)
-        self.clock.advance(self.cost_model.oss_request_latency)
+        extra = self._fault_gate("head", bucket, key)
+        self.clock.advance(self.cost_model.oss_request_latency + extra)
         return backend.size(key)
 
     def object_exists(self, bucket: str, key: str) -> bool:
@@ -196,8 +252,10 @@ class ObjectStorageService:
         """Total stored bytes across all buckets (accounting only, free)."""
         return sum(self.bucket_bytes(name) for name in self._buckets)
 
-    def _charge_read(self, nbytes: int, channels: int, piggyback: bool = False) -> None:
-        seconds = nbytes / min(
+    def _charge_read(
+        self, nbytes: int, channels: int, piggyback: bool = False, extra: float = 0.0
+    ) -> None:
+        seconds = extra + nbytes / min(
             self.cost_model.oss_read_bandwidth * channels,
             self.cost_model.node_nic_bandwidth,
         )
@@ -207,3 +265,30 @@ class ObjectStorageService:
         self.stats.get_requests += 1
         self.stats.bytes_read += nbytes
         self.stats.read_seconds += seconds
+
+    # --- fault injection -----------------------------------------------------
+    def _fault_gate(self, op: str, bucket: str, key: str) -> float:
+        """Consult the fault policy; returns extra latency to charge.
+
+        A request scheduled to fail transiently still costs one round
+        trip of virtual time (a timeout is not free) before the
+        :class:`TransientOSSError` propagates.
+        """
+        if self.faults is None:
+            return 0.0
+        before = self.faults.stats.faults_injected
+        try:
+            extra = self.faults.before_request(op, bucket, key)
+        except TransientOSSError:
+            self.stats.faults_injected += self.faults.stats.faults_injected - before
+            self.clock.advance(self.cost_model.oss_request_latency)
+            raise
+        self.stats.faults_injected += self.faults.stats.faults_injected - before
+        return extra
+
+    def _filter_read(self, data: bytes) -> bytes:
+        """Apply read-corruption faults, mirroring counts into OssStats."""
+        before = self.faults.stats.corrupt_reads
+        data = self.faults.filter_read(data)
+        self.stats.faults_injected += self.faults.stats.corrupt_reads - before
+        return data

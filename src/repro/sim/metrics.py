@@ -5,6 +5,8 @@ deduplication (chunking / fingerprinting / index querying / other) next to
 network time.  :class:`TimeBreakdown` accumulates exactly those categories;
 :class:`Counters` tracks the discrete events (chunks, duplicates, container
 reads, OSS requests) that the space and read-amplification experiments need.
+:class:`FaultStats` and :class:`RetryStats` account for the fault-injection
+and retry layers, so benchmarks can report availability next to throughput.
 """
 
 from __future__ import annotations
@@ -76,6 +78,50 @@ class TimeBreakdown:
         for name in CPU_CATEGORIES + NETWORK_CATEGORIES:
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
+
+
+@dataclass
+class FaultStats:
+    """Faults injected by one :class:`~repro.oss.faults.FaultPolicy`."""
+
+    faults_injected: int = 0
+    transient_errors: int = 0
+    torn_writes: int = 0
+    corrupt_reads: int = 0
+    latency_spikes: int = 0
+    killed_requests: int = 0
+    latency_injected_seconds: float = 0.0
+
+    def snapshot(self) -> "FaultStats":
+        """An independent copy, for before/after diffing in experiments."""
+        return FaultStats(**vars(self))
+
+    def diff(self, earlier: "FaultStats") -> "FaultStats":
+        """Faults injected since ``earlier`` was snapshotted."""
+        return FaultStats(
+            **{name: getattr(self, name) - getattr(earlier, name) for name in vars(self)}
+        )
+
+
+@dataclass
+class RetryStats:
+    """Work done by one retry layer on behalf of its callers."""
+
+    operations: int = 0
+    retries: int = 0
+    recovered_operations: int = 0
+    exhausted_operations: int = 0
+    backoff_seconds: float = 0.0
+
+    def snapshot(self) -> "RetryStats":
+        """An independent copy, for before/after diffing in experiments."""
+        return RetryStats(**vars(self))
+
+    def diff(self, earlier: "RetryStats") -> "RetryStats":
+        """Retry work accrued since ``earlier`` was snapshotted."""
+        return RetryStats(
+            **{name: getattr(self, name) - getattr(earlier, name) for name in vars(self)}
+        )
 
 
 @dataclass

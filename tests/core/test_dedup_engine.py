@@ -1,6 +1,5 @@
 """Tests for the L-node backup engine (Section IV)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import SlimStoreConfig

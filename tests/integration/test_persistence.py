@@ -1,6 +1,5 @@
 """Durable repositories: recovery after process restart and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro import SlimStore, SlimStoreConfig

@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro import SlimStore, SlimStoreConfig
+from repro import FaultPolicy, RetryPolicy, SlimStore, SlimStoreConfig
 from repro.cli import main
 from repro.core.scrub import RepositoryScrubber
-from repro.errors import RestoreError
+from repro.errors import RestoreError, RetryExhaustedError
+from repro.oss.object_store import ObjectStorageService
 from tests.conftest import mutate, random_bytes
 
 CONFIG = SlimStoreConfig(
@@ -120,3 +121,248 @@ class TestFaultTolerance:
         store.oss.put_object("slimstore", f"containers/{cid:012d}.data", bytes(payload))
         with pytest.raises(RestoreError):
             store.restore("f", latest, verify=True)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection, degraded-mode dedup and scrub repair
+# ---------------------------------------------------------------------------
+
+def chaos_store(seed=2026, **rates):
+    """A SlimStore whose OSS injects faults, fronted by a retrying client."""
+    faults = FaultPolicy(seed=seed, **rates)
+    oss = ObjectStorageService(faults=faults)
+    store = SlimStore(
+        CONFIG,
+        oss,
+        retry_policy=RetryPolicy(
+            seed=seed, base_delay=0.01, max_delay=0.2, backoff_budget_seconds=5.0
+        ),
+    )
+    return store, faults
+
+
+def find_duplicate_chunk(store):
+    """A fingerprint with two live physical copies, or None."""
+    containers = store.storage.containers
+    seen = {}
+    for cid in containers.container_ids():
+        meta = containers.read_meta(cid)
+        for entry in meta.entries:
+            if entry.alias or entry.deleted:
+                continue
+            key = (entry.fp, entry.size)
+            if key in seen and seen[key][0] != cid:
+                return seen[key], (cid, entry)
+            seen.setdefault(key, (cid, entry))
+    return None
+
+
+def corrupt_chunk(store, cid, entry):
+    payload = bytearray(store.storage.containers.read_data(cid))
+    payload[entry.offset + entry.size // 2] ^= 0x01
+    store.oss.put_object("slimstore", f"containers/{cid:012d}.data", bytes(payload))
+
+
+class TestRetryExhaustion:
+    def test_full_outage_aborts_backup(self, rng):
+        store, faults = chaos_store()
+        faults.outage()
+        with pytest.raises(RetryExhaustedError):
+            store.backup("f", random_bytes(rng, 64 * 1024))
+
+    def test_backup_succeeds_after_revive(self, rng):
+        store, faults = chaos_store()
+        data = random_bytes(rng, 64 * 1024)
+        faults.outage()
+        with pytest.raises(RetryExhaustedError):
+            store.backup("f", data)
+        faults.revive()
+        report = store.backup("f", data)
+        assert not report.degraded
+        assert store.restore("f").data == data
+
+
+class TestDegradedBackup:
+    def test_get_outage_degrades_instead_of_aborting(self, rng):
+        store, faults = chaos_store()
+        v0 = random_bytes(rng, 256 * 1024)
+        store.backup("f", v0)
+        v1 = mutate(rng, v0, runs=2, run_bytes=8 * 1024)
+
+        faults.outage({"get"})  # dedup lookups fail, writes still drain
+        report = store.backup("f", v1)
+        faults.revive()
+
+        assert report.degraded
+        assert report.result.counters.get("degraded_events") > 0
+        assert report.result.counters.get("degraded_chunks") > 0
+        assert store.degraded_versions() == [("f", 1)]
+        assert store.catalog.is_degraded("f", 1)
+        # The degraded version restored byte-identically all along.
+        assert store.restore("f", 1).data == v1
+        assert store.restore("f", 0).data == v0
+
+    def test_reclaim_degraded_recovers_the_space(self, rng):
+        store, faults = chaos_store()
+        v0 = random_bytes(rng, 256 * 1024)
+        store.backup("f", v0)
+        v1 = mutate(rng, v0, runs=2, run_bytes=8 * 1024)
+        faults.outage({"get"})
+        store.backup("f", v1)
+        faults.revive()
+
+        report = store.reclaim_degraded()
+        assert report is not None
+        assert report.duplicates_removed > 0
+        assert report.counters.get("degraded_reclaimed") > 0
+        assert store.degraded_versions() == []
+        # Reclamation must not damage either version.
+        assert store.restore("f", 0).data == v0
+        assert store.restore("f", 1).data == v1
+
+    def test_reclaim_without_degraded_versions_is_none(self, rng):
+        store, _ = chaos_store()
+        store.backup("f", random_bytes(rng, 64 * 1024))
+        assert store.reclaim_degraded() is None
+
+    def test_degraded_flag_survives_catalog_roundtrip(self, rng):
+        store, faults = chaos_store()
+        v0 = random_bytes(rng, 128 * 1024)
+        store.backup("f", v0)
+        faults.outage({"get"})
+        store.backup("f", mutate(rng, v0, runs=1, run_bytes=4 * 1024))
+        faults.revive()
+
+        attached = SlimStore(CONFIG, store.oss)
+        attached.recover()
+        assert attached.degraded_versions() == [("f", 1)]
+
+
+class TestScrubRepair:
+    def test_repair_heals_from_duplicate_copy(self, rng):
+        store, faults = chaos_store()
+        v0 = random_bytes(rng, 256 * 1024)
+        store.backup("f", v0)
+        v1 = mutate(rng, v0, runs=2, run_bytes=8 * 1024)
+        faults.outage({"get"})
+        store.backup("f", v1)  # degraded: shared chunks stored twice
+        faults.revive()
+        store.oss.set_fault_policy(None)
+
+        duplicate = find_duplicate_chunk(store)
+        assert duplicate is not None
+        _first, (cid, entry) = duplicate
+        corrupt_chunk(store, cid, entry)
+        assert not store.scrub().clean
+
+        report = store.scrub(repair=True)
+        assert report.chunks_repaired >= 1
+        assert report.containers_rewritten >= 1
+        assert not report.quarantined_chunks
+        assert report.fully_repaired
+        assert store.scrub().clean
+        assert store.restore("f", 0).data == v0
+        assert store.restore("f", 1).data == v1
+
+    def test_unrecoverable_chunk_is_quarantined(self, rng):
+        store = SlimStore(CONFIG)
+        store.backup("f", random_bytes(rng, 64 * 1024))
+        cid = store.storage.containers.container_ids()[0]
+        meta = store.storage.containers.read_meta(cid)
+        entry = next(e for e in meta.entries if not e.alias)
+        corrupt_chunk(store, cid, entry)
+
+        report = store.scrub(repair=True)
+        assert (cid, entry.fp) in report.quarantined_chunks
+        assert not report.fully_repaired
+        # Quarantined chunks are out of circulation: the container pass no
+        # longer flags them, but the recipe pass surfaces the data loss.
+        after = store.scrub()
+        assert not after.corrupt_chunks
+        assert any(fp == entry.fp for _p, _v, fp in after.unresolvable_records)
+
+    def test_cli_scrub_repair_flag(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        sample = tmp_path / "s.bin"
+        sample.write_bytes(random_bytes(rng, 64 * 1024))
+        main(["backup", str(repo), str(sample)])
+        assert main(["scrub", str(repo), "--repair"]) == 0
+        assert "clean" in capsys.readouterr().out
+        container = next((repo / "slimstore" / "containers").glob("*.data"))
+        blob = bytearray(container.read_bytes())
+        blob[100] ^= 0xFF
+        container.write_bytes(bytes(blob))
+        # Single copy of every chunk: repair can only quarantine.
+        assert main(["scrub", str(repo), "--repair"]) == 1
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.out
+        assert "QUARANTINED" in captured.err
+
+
+class TestSeededChaos:
+    """The acceptance scenario: six versions under ~5% transient faults."""
+
+    def test_six_version_cycle_with_faults_degradation_and_repair(self, rng):
+        store, faults = chaos_store(
+            seed=2026,
+            get_error_rate=0.05,
+            put_error_rate=0.05,
+            torn_write_rate=0.05,
+            latency_spike_rate=0.02,
+            latency_spike_seconds=0.1,
+        )
+        payloads = [random_bytes(rng, 256 * 1024)]
+        store.backup("f", payloads[0])
+        for _ in range(2):
+            payloads.append(mutate(rng, payloads[-1], runs=2, run_bytes=8 * 1024))
+            store.backup("f", payloads[-1])
+
+        # Version 3 lands during a read outage: backed up in degraded mode.
+        payloads.append(mutate(rng, payloads[-1], runs=2, run_bytes=8 * 1024))
+        faults.outage({"get"})
+        degraded_report = store.backup("f", payloads[-1])
+        faults.revive()
+        assert degraded_report.degraded
+        assert degraded_report.result.counters.get("degraded_chunks") > 0
+        client = store.storage.oss
+        # Only the outage could exhaust retries (that is what degraded
+        # mode absorbed); the ~5% transient schedule never does.
+        exhausted_by_outage = client.retry_stats.exhausted_operations
+        assert exhausted_by_outage > 0
+
+        for _ in range(2):
+            payloads.append(mutate(rng, payloads[-1], runs=2, run_bytes=8 * 1024))
+            store.backup("f", payloads[-1])
+
+        # The retrying client absorbed the fault schedule.
+        assert faults.stats.faults_injected > 0
+        assert client.retry_stats.retries > 0
+        assert client.retry_stats.exhausted_operations == exhausted_by_outage
+
+        # Every version restores byte-identically, faults still active.
+        for version, expected in enumerate(payloads):
+            assert store.restore("f", version).data == expected
+
+        # Quiesce the endpoint, then heal an injected bit flip from the
+        # duplicate copy the degraded backup left behind.
+        store.oss.set_fault_policy(None)
+        duplicate = find_duplicate_chunk(store)
+        assert duplicate is not None
+        _first, (cid, entry) = duplicate
+        corrupt_chunk(store, cid, entry)
+        repair_report = store.scrub(repair=True)
+        assert repair_report.chunks_repaired >= 1
+        assert repair_report.fully_repaired
+        assert store.scrub().clean
+
+        # The out-of-line G-node pass settles the degraded version's debt.
+        assert store.degraded_versions() == [("f", 3)]
+        reclaim = store.reclaim_degraded()
+        assert reclaim is not None
+        assert reclaim.duplicates_removed > 0
+        assert reclaim.counters.get("degraded_reclaimed") > 0
+        assert store.degraded_versions() == []
+
+        for version, expected in enumerate(payloads):
+            assert store.restore("f", version).data == expected
+        assert store.scrub().clean

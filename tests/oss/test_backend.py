@@ -81,6 +81,36 @@ class TestFilesystemBackend:
         with pytest.raises(ValueError):
             backend.put("/absolute", b"x")
 
+    def test_rejects_empty_and_dot_keys(self, tmp_path):
+        backend = FilesystemBackend(tmp_path)
+        with pytest.raises(ValueError):
+            backend.put("", b"x")
+        with pytest.raises(ValueError):
+            backend.put(".", b"x")
+        with pytest.raises(ValueError):
+            backend.get("")
+
+    def test_total_bytes(self, tmp_path):
+        backend = FilesystemBackend(tmp_path)
+        backend.put("a", b"12")
+        backend.put("d/b", b"345")
+        assert backend.total_bytes() == 5
+
+    def test_failed_replace_cleans_up_tmp(self, tmp_path, monkeypatch):
+        backend = FilesystemBackend(tmp_path)
+        backend.put("k", b"old")
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.oss.backend.os.replace", broken_replace)
+        with pytest.raises(OSError):
+            backend.put("k", b"new")
+        monkeypatch.undo()
+        # The old object survives and no orphaned temp file remains.
+        assert backend.get("k") == b"old"
+        assert not list(tmp_path.rglob("*.tmp"))
+
     def test_atomic_overwrite(self, tmp_path):
         backend = FilesystemBackend(tmp_path)
         backend.put("k", b"old")

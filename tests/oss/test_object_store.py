@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import BucketNotFoundError, ObjectNotFoundError
+from repro.oss.backend import InMemoryBackend
 from repro.oss.object_store import ObjectStorageService
 from repro.sim.cost_model import CostModel
 
@@ -127,3 +128,30 @@ class TestStats:
         store.put_object("test", "b", b"345")
         assert store.total_bytes() == 5
         assert store.bucket_bytes("test") == 5
+
+
+class TestBackendFactory:
+    def test_named_factory_receives_bucket_name(self):
+        seen = []
+
+        def factory(name):
+            seen.append(name)
+            return InMemoryBackend()
+
+        store = ObjectStorageService(backend_factory=factory)
+        store.create_bucket("alpha")
+        assert seen == ["alpha"]
+
+    def test_no_arg_factory_supported(self):
+        store = ObjectStorageService(backend_factory=InMemoryBackend)
+        store.create_bucket("alpha")
+        store.put_object("alpha", "k", b"v")
+        assert store.get_object("alpha", "k") == b"v"
+
+    def test_factory_type_errors_propagate(self):
+        def factory(name):
+            raise TypeError("broken factory internals")
+
+        store = ObjectStorageService(backend_factory=factory)
+        with pytest.raises(TypeError, match="broken factory internals"):
+            store.create_bucket("alpha")
