@@ -25,6 +25,10 @@ def run_ablation():
             gdedup_bloom_filter=bloom,
             gdedup_meta_cache=meta_cache,
             sparse_compaction=False,
+            # This ablation isolates the serial-path accelerations; the
+            # batched lookup path has its own ablation
+            # (test_ablation_index_sharding.py).
+            gdedup_batched_lookup=False,
         )
         store = SlimStore(config)
         index_lookups = 0

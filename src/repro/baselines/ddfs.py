@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.baselines.recipes import VersionRecipes
 from repro.chunking.base import make_chunker
 from repro.core.config import SlimStoreConfig
 from repro.core.container import ContainerStore
@@ -82,6 +83,7 @@ class DDFSSystem:
         self._cached_containers: OrderedDict[int, list[bytes]] = OrderedDict()
         self.cache_containers = cache_containers
         self._chunker = make_chunker(self.config.chunker, self.config.chunker_params())
+        self.recipes = VersionRecipes(self.containers)
 
     # ------------------------------------------------------------------
     def backup(self, path: str, data: bytes) -> DDFSBackupResult:
@@ -92,6 +94,7 @@ class DDFSSystem:
         builder = self.containers.new_builder(self.config.container_bytes)
         stored = 0
         position = 0
+        recipe: list[tuple[bytes, int, int]] = []
         from repro.fingerprint.hashing import fingerprint
 
         while position < len(data):
@@ -105,8 +108,10 @@ class DDFSSystem:
             fp = fingerprint(chunk)
             position = end
 
-            if self._lookup(fp, breakdown, counters) is not None:
+            known = self._lookup(fp, breakdown, counters)
+            if known is not None:
                 counters.add("dup_chunks")
+                recipe.append((fp, known[0], len(chunk)))
                 continue
             # Unique: store and register.
             if builder.is_full():
@@ -116,10 +121,16 @@ class DDFSSystem:
             breakdown.charge("other", self.cost_model.cpu_other_per_byte * len(chunk))
             counters.add("unique_chunks")
             self._register(fp, builder.container_id, len(chunk))
+            recipe.append((fp, builder.container_id, len(chunk)))
         if not builder.is_empty():
             self._flush(builder, breakdown, counters)
         counters.add("logical_bytes", len(data))
+        self.recipes.record(path, recipe)
         return DDFSBackupResult(len(data), stored, breakdown, counters)
+
+    def restore(self, path: str, version: int | None = None) -> bytes:
+        """Replay a version's recipe byte-for-byte (default: latest)."""
+        return self.recipes.restore(path, version)
 
     # ------------------------------------------------------------------
     def _lookup(self, fp: bytes, breakdown: TimeBreakdown, counters: Counters):

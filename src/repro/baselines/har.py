@@ -19,7 +19,9 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SlimStoreConfig
 from repro.core.dedup import BackupEngine, BackupResult
+from repro.core.restore import RestoreEngine
 from repro.core.storage import StorageLayer
+from repro.errors import RestoreError
 from repro.sim.cost_model import CostModel
 
 
@@ -53,6 +55,7 @@ class HARDriver:
             else utilization_threshold
         )
         self._states: dict[str, HARState] = {}
+        self._version_counts: dict[str, int] = {}
 
     def backup(self, path: str, data: bytes) -> BackupResult:
         """One backup with rewriting driven by the previous version's
@@ -61,7 +64,18 @@ class HARDriver:
         engine = BackupEngine(self.config, self.storage, self.cost_model)
         result = engine.backup(path, data, rewrite_containers=state.sparse_containers)
         state.sparse_containers = self._detect_sparse(result)
+        self._version_counts[path] = self._version_counts.get(path, 0) + 1
         return result
+
+    def restore(self, path: str, version: int | None = None) -> bytes:
+        """Restore one version through the shared storage layer."""
+        count = self._version_counts.get(path, 0)
+        if count == 0:
+            raise RestoreError(f"no backups recorded for {path!r}")
+        if version is None:
+            version = count - 1
+        engine = RestoreEngine(self.config, self.storage, self.cost_model)
+        return engine.restore(path, version).data
 
     def _detect_sparse(self, result: BackupResult) -> set[int]:
         """Utilisation bookkeeping: the paper's HAR mark phase."""

@@ -1,0 +1,58 @@
+"""In-RAM version recipes for the baseline systems.
+
+The baselines keep container payloads on the shared OSS substrate but —
+unlike SLIMSTORE, whose recipes are themselves OSS-resident — carry their
+file recipes in process RAM.  That is enough to restore every version and
+prove byte parity in the differential tests without granting any baseline
+a durability feature the original system lacked.
+"""
+
+from __future__ import annotations
+
+from repro.core.container import ContainerStore
+from repro.errors import RestoreError
+
+#: One recipe record: fingerprint, owning container id, chunk size.
+Entry = tuple[bytes, int, int]
+
+
+class VersionRecipes:
+    """Per-path, per-version chunk recipes with chunk-cached replay."""
+
+    def __init__(self, containers: ContainerStore) -> None:
+        self._containers = containers
+        self._recipes: dict[str, list[list[Entry]]] = {}
+
+    def record(self, path: str, entries: list[Entry]) -> int:
+        """Append one version's recipe; returns its version number."""
+        versions = self._recipes.setdefault(path, [])
+        versions.append(list(entries))
+        return len(versions) - 1
+
+    def versions(self, path: str) -> list[int]:
+        """Version numbers recorded for ``path`` (0-based, oldest first)."""
+        return list(range(len(self._recipes.get(path, []))))
+
+    def restore(self, path: str, version: int | None = None) -> bytes:
+        """Reassemble one version byte-for-byte from its containers."""
+        versions = self._recipes.get(path)
+        if not versions:
+            raise RestoreError(f"no backups recorded for {path!r}")
+        if version is None:
+            version = len(versions) - 1
+        if not 0 <= version < len(versions):
+            raise RestoreError(f"unknown version {version} for {path!r}")
+        cache: dict[tuple[int, bytes], bytes] = {}
+        output = bytearray()
+        for fp, container_id, _size in versions[version]:
+            key = (container_id, fp)
+            chunk = cache.get(key)
+            if chunk is None:
+                chunk = self._containers.read_chunk(container_id, fp)
+                if chunk is None:
+                    raise RestoreError(
+                        f"chunk {fp.hex()[:12]} missing from container {container_id}"
+                    )
+                cache[key] = chunk
+            output += chunk
+        return bytes(output)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from repro.baselines.recipes import VersionRecipes
 from repro.chunking.base import make_chunker
 from repro.core.config import SlimStoreConfig
 from repro.core.container import ContainerBuilder, ContainerStore
@@ -77,6 +78,7 @@ class SiLOSystem:
         self._sh_table: dict[bytes, int] = {}
         self._next_block_id = 0
         self._pending_block: list[list[tuple[bytes, int, int]]] = []
+        self.recipes = VersionRecipes(self.containers)
 
     # --- backup ------------------------------------------------------------
     def backup(self, path: str, data: bytes) -> SiLOBackupResult:
@@ -95,6 +97,7 @@ class SiLOSystem:
         stored = 0
         dedup_cache: dict[bytes, tuple[int, int]] = {}
         local: dict[bytes, tuple[int, int]] = {}
+        recipe: list[tuple[bytes, int, int]] = []
         position = 0
 
         while position < len(data):
@@ -122,12 +125,18 @@ class SiLOSystem:
                     local[fp] = (builder.container_id, len(chunk))
                     segment.append((fp, builder.container_id, len(chunk)))
             self._store_segment(segment, fps, breakdown, counters)
+            recipe.extend(segment)
 
         self._flush_block(breakdown)
         if not builder.is_empty():
             self._flush_container(builder, breakdown, counters)
         counters.add("logical_bytes", len(data))
+        self.recipes.record(path, recipe)
         return SiLOBackupResult(len(data), stored, breakdown, counters)
+
+    def restore(self, path: str, version: int | None = None) -> bytes:
+        """Replay a version's recipe byte-for-byte (default: latest)."""
+        return self.recipes.restore(path, version)
 
     def _cut_segment(self, data, boundary_set, position, breakdown):
         """Chunk one segment's worth of input, charging CPU costs."""

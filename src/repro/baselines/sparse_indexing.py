@@ -18,6 +18,7 @@ import struct
 from collections import Counter as TallyCounter
 from dataclasses import dataclass
 
+from repro.baselines.recipes import VersionRecipes
 from repro.chunking.base import make_chunker
 from repro.core.config import SlimStoreConfig
 from repro.core.container import ContainerBuilder, ContainerStore
@@ -76,6 +77,7 @@ class SparseIndexingSystem:
         #: In-RAM sparse index: hook fingerprint -> manifest ids holding it.
         self._sparse_index: dict[bytes, list[int]] = {}
         self._next_manifest_id = 0
+        self.recipes = VersionRecipes(self.containers)
 
     # --- backup ------------------------------------------------------------
     def backup(self, path: str, data: bytes) -> SparseIndexingBackupResult:
@@ -86,6 +88,7 @@ class SparseIndexingSystem:
         builder = self.containers.new_builder(self.config.container_bytes)
         stored = 0
         local: dict[bytes, tuple[int, int]] = {}
+        recipe: list[tuple[bytes, int, int]] = []
         position = 0
 
         while position < len(data):
@@ -114,11 +117,17 @@ class SparseIndexingSystem:
                     local[fp] = (builder.container_id, len(chunk))
                     manifest.append((fp, builder.container_id, len(chunk)))
             self._store_manifest(manifest, hooks, breakdown, counters)
+            recipe.extend(manifest)
 
         if not builder.is_empty():
             self._flush_container(builder, breakdown, counters)
         counters.add("logical_bytes", len(data))
+        self.recipes.record(path, recipe)
         return SparseIndexingBackupResult(len(data), stored, breakdown, counters)
+
+    def restore(self, path: str, version: int | None = None) -> bytes:
+        """Replay a version's recipe byte-for-byte (default: latest)."""
+        return self.recipes.restore(path, version)
 
     # --- internals -----------------------------------------------------------
     def _chunker_boundaries(self, data: bytes, breakdown: TimeBreakdown):

@@ -16,8 +16,46 @@ which the cost model parameterises:
 from __future__ import annotations
 
 from repro.sim.cost_model import CostModel
+from repro.sim.parallel import batched_round_trips
 
 _MB = float(1 << 20)
+
+
+def sharded_index_drain_seconds(
+    lookups_per_job: int,
+    jobs: int,
+    shard_count: int = 1,
+    batch_size: int = 1,
+    slots_per_shard: int = 1,
+    cost_model: CostModel | None = None,
+) -> float:
+    """Closed-form drain time of the cluster's shared-index phase.
+
+    ``jobs`` concurrent ingest jobs each push ``lookups_per_job``
+    fingerprints through the sharded global index.  Lookups spread
+    uniformly over the shards; each shard serves its request queue with
+    ``slots_per_shard`` servers and every request costs one Rocks-OSS
+    round trip plus the per-key query CPU.  Shards drain independently,
+    so the slowest shard sets the pace.  Cross-validated against the
+    event-driven :class:`repro.core.cluster.ClusterSimulator`.
+    """
+    if jobs < 1 or lookups_per_job < 0:
+        raise ValueError(f"invalid jobs={jobs} lookups={lookups_per_job}")
+    if shard_count < 1 or batch_size < 1 or slots_per_shard < 1:
+        raise ValueError("shard_count, batch_size, slots_per_shard must be >= 1")
+    model = cost_model or CostModel()
+    base, extra = divmod(lookups_per_job, shard_count)
+    worst = 0.0
+    for shard in range(shard_count):
+        keys = base + (1 if shard < extra else 0)
+        if not keys:
+            continue
+        requests = batched_round_trips(keys, batch_size)
+        busy = jobs * (
+            requests * model.oss_request_latency + keys * model.cpu_index_query
+        )
+        worst = max(worst, busy / slots_per_shard)
+    return worst
 
 
 def slimstore_backup_scaling(

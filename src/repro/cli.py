@@ -11,6 +11,7 @@ Usage::
     python -m repro versions REPO [PATH]
     python -m repro delete  REPO PATH VERSION
     python -m repro space   REPO
+    python -m repro index   REPO
 
 Example::
 
@@ -22,7 +23,9 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.config import SlimStoreConfig
@@ -31,21 +34,63 @@ from repro.errors import ReproError
 from repro.oss.backend import FilesystemBackend
 from repro.oss.object_store import ObjectStorageService
 
+#: Repository-level settings that must stay fixed for the repo's lifetime
+#: (the index shard layout decides which store holds each fingerprint).
+_SETTINGS_FILE = "repro.json"
 
-def open_repository(repo_dir: str | Path) -> SlimStore:
+
+def _resolve_shard_count(root: Path, requested: int | None) -> int:
+    """Pin the repo's shard count, persisting it on first use.
+
+    The shard a fingerprint lives in is a function of the shard count, so
+    a repository must be recovered with the count it was created with.
+    New repositories record the requested (or default) count in
+    ``repro.json``; pre-sharding repositories (data present, no settings
+    file) are single-shard by construction.
+    """
+    settings_path = root / _SETTINGS_FILE
+    if settings_path.is_file():
+        stored = int(json.loads(settings_path.read_text())["index_shard_count"])
+        if requested is not None and requested != stored:
+            raise ReproError(
+                f"repository uses {stored} index shards; "
+                f"cannot reopen with --index-shards {requested}"
+            )
+        return stored
+    has_data = any(p.is_dir() for p in root.iterdir())
+    if has_data:
+        shard_count = 1 if requested is None else requested
+        if requested is not None and requested != 1:
+            raise ReproError(
+                "existing repository predates sharding (single-shard); "
+                f"cannot reopen with --index-shards {requested}"
+            )
+    else:
+        shard_count = (
+            SlimStoreConfig().index_shard_count if requested is None else requested
+        )
+    settings_path.write_text(json.dumps({"index_shard_count": shard_count}))
+    return shard_count
+
+
+def open_repository(
+    repo_dir: str | Path, index_shards: int | None = None
+) -> SlimStore:
     """Open (or create) a durable repository under ``repo_dir``."""
     root = Path(repo_dir)
     root.mkdir(parents=True, exist_ok=True)
+    shard_count = _resolve_shard_count(root, index_shards)
     oss = ObjectStorageService(
         backend_factory=lambda bucket: FilesystemBackend(root / bucket)
     )
-    store = SlimStore(SlimStoreConfig(), oss)
+    config = replace(SlimStoreConfig(), index_shard_count=shard_count)
+    store = SlimStore(config, oss)
     store.recover()
     return store
 
 
 def _cmd_backup(args: argparse.Namespace) -> int:
-    store = open_repository(args.repo)
+    store = open_repository(args.repo, index_shards=args.index_shards)
     for file_name in args.files:
         source = Path(file_name)
         if not source.is_file():
@@ -124,6 +169,20 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    store = open_repository(args.repo)
+    index = store.storage.global_index
+    stats = index.shard_stats()
+    print(f"shards: {index.shard_count}")
+    for shard, stat in enumerate(stats):
+        print(
+            f"  shard {shard:3d}: {stat['entries']:>8} entries, "
+            f"{stat['sstables']} sstables"
+        )
+    print(f"total entries: {sum(s['entries'] for s in stats)}")
+    return 0
+
+
 def _cmd_space(args: argparse.Namespace) -> int:
     store = open_repository(args.repo)
     report = store.space_report()
@@ -147,6 +206,8 @@ def build_parser() -> argparse.ArgumentParser:
     backup.add_argument("repo", help="repository directory")
     backup.add_argument("files", nargs="+", help="files to back up")
     backup.add_argument("--prefix", default="", help="logical path prefix")
+    backup.add_argument("--index-shards", type=int, default=None,
+                        help="global-index shard count (fixed at repo creation)")
     backup.set_defaults(handler=_cmd_backup)
 
     restore = commands.add_parser("restore", help="restore a backup version")
@@ -171,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     space = commands.add_parser("space", help="show repository space usage")
     space.add_argument("repo")
     space.set_defaults(handler=_cmd_space)
+
+    index = commands.add_parser("index", help="show global-index shard stats")
+    index.add_argument("repo")
+    index.set_defaults(handler=_cmd_index)
 
     scrub = commands.add_parser("scrub", help="verify repository integrity")
     scrub.add_argument("repo")

@@ -15,7 +15,7 @@ from repro.core.dedup import BackupEngine, BackupResult
 from repro.core.restore import RestoreEngine, RestoreResult
 from repro.core.lnode import LNode
 from repro.core.gnode import GNode
-from repro.core.cluster import ClusterSimulator, JobSpec
+from repro.core.cluster import ClusterSimulator, JobSpec, ShardedIndexSpec
 from repro.core.scrub import RepositoryScrubber, ScrubReport
 from repro.core.snapshot import Snapshot, SnapshotStore
 from repro.core.tenancy import BackupService, TenantUsage
@@ -40,6 +40,7 @@ __all__ = [
     "GNode",
     "ClusterSimulator",
     "JobSpec",
+    "ShardedIndexSpec",
     "RepositoryScrubber",
     "ScrubReport",
     "Snapshot",

@@ -5,6 +5,15 @@ has a bounded number of job slots, and the jobs sharing a node split its
 NIC bandwidth for their network phase.  Used to cross-validate the
 closed-form scaling arithmetic of :mod:`repro.bench.scaling` and to answer
 questions the closed forms cannot (mixed job sizes, staggered arrivals).
+
+Since the sharded-index PR the simulator also models the **shared global
+fingerprint index** as a contended resource: each ingest job finishes its
+CPU/network phase and then pushes its unique fingerprints through the
+index, one :class:`~repro.sim.events.SlotResource` per shard serving the
+batched round trips.  Many concurrent jobs hammering one unbatched shard
+serialise behind each other; sharding and batching shrink both the queue
+and the number of round trips, which is the cluster-ingest half of the
+sharding ablation.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.sim.cost_model import CostModel
 from repro.sim.events import EventLoop, SlotResource
+from repro.sim.parallel import batched_round_trips
 
 
 @dataclass(frozen=True)
@@ -22,14 +32,69 @@ class JobSpec:
     logical_bytes: float
     cpu_seconds: float
     network_bytes: float
+    #: Fingerprints the job pushes through the shared global index (its
+    #: unique chunks); zero for jobs that never touch the index.
+    index_lookups: int = 0
 
     @classmethod
     def from_backup_result(cls, result) -> "JobSpec":
         """Build a spec from a BackupResult-like object."""
+        unique = getattr(result, "unique_fps", None)
         return cls(
             logical_bytes=result.logical_bytes,
             cpu_seconds=result.breakdown.cpu_seconds(),
             network_bytes=result.uploaded_bytes,
+            index_lookups=0 if unique is None else len(unique),
+        )
+
+
+@dataclass(frozen=True)
+class ShardedIndexSpec:
+    """The shared sharded global index as a contended cluster resource.
+
+    ``batch_size`` 1 models the seed's one-fingerprint-per-round-trip
+    access; larger batches group fingerprints per request.  Each shard
+    serves ``slots_per_shard`` requests concurrently (Rocks-OSS instances
+    are independent stores, so shards never contend with each other).
+    """
+
+    shard_count: int = 1
+    batch_size: int = 1
+    slots_per_shard: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1: {self.shard_count}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.slots_per_shard < 1:
+            raise ValueError(f"slots_per_shard must be >= 1: {self.slots_per_shard}")
+
+    def per_shard_keys(self, lookups: int) -> list[int]:
+        """Uniform spread of a job's lookups over the shards.
+
+        SHA-1 fingerprint prefixes are uniform, so an even split (with the
+        remainder on the first shards) is the expected distribution.
+        """
+        base, extra = divmod(lookups, self.shard_count)
+        return [base + (1 if i < extra else 0) for i in range(self.shard_count)]
+
+    def request_keys(self, keys: int) -> list[int]:
+        """Per-request key counts for one shard's share of a job."""
+        if keys <= 0:
+            return []
+        full, rest = divmod(keys, self.batch_size)
+        sizes = [self.batch_size] * full
+        if rest:
+            sizes.append(rest)
+        return sizes
+
+    def total_requests(self, lookups: int) -> int:
+        """Round trips one job issues across all shards."""
+        return sum(
+            batched_round_trips(keys, self.batch_size)
+            for keys in self.per_shard_keys(lookups)
+            if keys
         )
 
 
@@ -40,6 +105,8 @@ class ClusterRunReport:
     makespan_seconds: float
     total_logical_bytes: float
     completion_times: list[float] = field(default_factory=list)
+    #: Round trips served by the shared index (0 without an index model).
+    index_rpcs: int = 0
 
     @property
     def aggregate_throughput_mb_s(self) -> float:
@@ -50,13 +117,16 @@ class ClusterRunReport:
 
 
 class ClusterSimulator:
-    """Schedules jobs over L-nodes with slot and NIC contention.
+    """Schedules jobs over L-nodes with slot, NIC and index contention.
 
     Model per job: a CPU phase and a network phase that fully overlap
     (max rule, as in the pipelined cost model), where the network phase
     slows down proportionally to the number of jobs concurrently active
     on the same node (fair NIC sharing, approximated by charging each
-    job its bandwidth share at dispatch time).
+    job its bandwidth share at dispatch time).  With an
+    :class:`ShardedIndexSpec`, the job then drains its fingerprints
+    through the shared index — per-shard chains of batched round trips,
+    queued on each shard's slots — before releasing its node slot.
     """
 
     def __init__(
@@ -64,12 +134,18 @@ class ClusterSimulator:
         lnode_count: int,
         cost_model: CostModel | None = None,
         slots_per_node: int | None = None,
+        index_spec: ShardedIndexSpec | None = None,
     ) -> None:
         if lnode_count < 1:
             raise ValueError("need at least one L-node")
         self.model = cost_model or CostModel()
         self.lnode_count = lnode_count
         self.slots_per_node = slots_per_node or self.model.node_backup_slots
+        self.index_spec = index_spec
+
+    def _rpc_seconds(self, keys: int) -> float:
+        """Virtual duration of one batched index round trip."""
+        return self.model.oss_request_latency + keys * self.model.cpu_index_query
 
     def run(self, jobs: list[JobSpec]) -> ClusterRunReport:
         """Dispatch all jobs at time zero; returns the schedule outcome."""
@@ -77,7 +153,54 @@ class ClusterSimulator:
         nodes = [
             SlotResource(loop, self.slots_per_node) for _ in range(self.lnode_count)
         ]
+        spec = self.index_spec
+        shards = (
+            [SlotResource(loop, spec.slots_per_shard) for _ in range(spec.shard_count)]
+            if spec is not None
+            else []
+        )
         report = ClusterRunReport(0.0, sum(job.logical_bytes for job in jobs))
+
+        def drain_shard(shard: SlotResource, batches: list[int], finished) -> None:
+            remaining = list(batches)
+
+            def issue_next() -> None:
+                keys = remaining.pop(0)
+
+                def granted() -> None:
+                    def done() -> None:
+                        report.index_rpcs += 1
+                        shard.release()
+                        if remaining:
+                            issue_next()
+                        else:
+                            finished()
+
+                    loop.schedule(self._rpc_seconds(keys), done)
+
+                shard.acquire(granted)
+
+            issue_next()
+
+        def index_phase(job: JobSpec, finish) -> None:
+            plan = spec.per_shard_keys(job.index_lookups)
+            chains = [
+                (shards[i], spec.request_keys(keys))
+                for i, keys in enumerate(plan)
+                if keys
+            ]
+            if not chains:
+                finish()
+                return
+            state = {"remaining": len(chains)}
+
+            def chain_finished() -> None:
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    finish()
+
+            for shard, batches in chains:
+                drain_shard(shard, batches, chain_finished)
 
         def dispatch(job: JobSpec, node: SlotResource) -> None:
             def start() -> None:
@@ -94,7 +217,13 @@ class ClusterSimulator:
                     report.completion_times.append(loop.now)
                     node.release()
 
-                loop.schedule(duration, finish)
+                def main_done() -> None:
+                    if spec is None or job.index_lookups <= 0:
+                        finish()
+                    else:
+                        index_phase(job, finish)
+
+                loop.schedule(duration, main_done)
 
             node.acquire(start)
 

@@ -85,6 +85,18 @@ class SlimStoreConfig:
     #: Expected chunk population for the global Bloom filter.
     global_bloom_capacity: int = 1 << 20
 
+    # --- global index sharding & batching -------------------------------------
+    #: Independent global-index shards (LSM stores keyed by fp prefix).
+    index_shard_count: int = 4
+    #: Fingerprints grouped into one batched index round trip.
+    index_batch_size: int = 256
+    #: Batch reverse-dedup index lookups per shard (off = the seed's
+    #: one-fingerprint-at-a-time Rocks-OSS access, the ablation baseline).
+    gdedup_batched_lookup: bool = True
+    #: Drain index shards in parallel during reverse dedup (charge the
+    #: slowest shard, not the sum).
+    gdedup_parallel_shards: bool = True
+
     # --- cluster --------------------------------------------------------------------
     #: Number of L-nodes available (paper: six ECS instances).
     lnode_count: int = 6
@@ -104,6 +116,10 @@ class SlimStoreConfig:
             raise ValueError("need at least one L-node")
         if self.prefetch_threads < 0:
             raise ValueError("prefetch_threads cannot be negative")
+        if self.index_shard_count < 1:
+            raise ValueError(f"index_shard_count must be >= 1: {self.index_shard_count}")
+        if self.index_batch_size < 1:
+            raise ValueError(f"index_batch_size must be >= 1: {self.index_batch_size}")
 
     # --- derived views ---------------------------------------------------------------
     def effective_sample_ratio(self) -> int:

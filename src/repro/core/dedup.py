@@ -129,6 +129,11 @@ class BackupResult:
     #: Fingerprints persisted while degraded; the G-node's reverse
     #: deduplication reclaims the redundancy they may carry.
     degraded_fps: list[bytes] = field(default_factory=list)
+    #: Distinct fingerprints this job stored as unique — the population
+    #: the G-node pushes through the sharded global index afterwards,
+    #: which is what the cluster ingest model's per-shard contention and
+    #: the post-maintenance index invariants are computed from.
+    unique_fps: list[bytes] = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -775,4 +780,5 @@ class _JobState:
             referenced_containers=referenced,
             degraded=self.degraded,
             degraded_fps=self.degraded_fps,
+            unique_fps=list(self.local_records),
         )

@@ -86,19 +86,39 @@ class GNode:
         duplicate verification; every one this pass reverse-deduplicates
         is counted as ``degraded_reclaimed``, proving the out-of-line
         reclamation the degraded mode relies on.
+
+        With ``config.gdedup_batched_lookup`` the pass groups each
+        container's Bloom-surviving fingerprints into per-shard batched
+        round trips (:meth:`GlobalIndex.get_many`) and drains the shards
+        in parallel; otherwise it walks the index one fingerprint at a
+        time, the seed behaviour the sharding ablation baselines against.
         """
         report = ReverseDedupReport()
-        index = self.storage.global_index
-        containers = self.storage.containers
         meta_cache: dict[int, ContainerMeta] = {}
         dirty: set[int] = set()
-
-        for cid in new_container_ids:
-            before = self.storage.oss.stats.snapshot()
-            meta = containers.read_meta(cid)
-            report.breakdown.charge(
-                "download", self.storage.oss.stats.diff(before).read_seconds
+        if self.config.gdedup_batched_lookup:
+            self._reverse_dedup_batched(
+                new_container_ids, watch_fps, report, meta_cache, dirty
             )
+        else:
+            self._reverse_dedup_serial(
+                new_container_ids, watch_fps, report, meta_cache, dirty
+            )
+        self._persist_dirty_metas(meta_cache, dirty, report)
+        return report
+
+    def _reverse_dedup_serial(
+        self,
+        new_container_ids: list[int],
+        watch_fps: set[bytes] | None,
+        report: ReverseDedupReport,
+        meta_cache: dict[int, ContainerMeta],
+        dirty: set[int],
+    ) -> None:
+        """One Rocks-OSS round trip per fingerprint (the unbatched path)."""
+        index = self.storage.global_index
+        for cid in new_container_ids:
+            meta = self._read_new_meta(cid, report)
             for entry in meta.entries:
                 if entry.deleted:
                     continue
@@ -115,22 +135,105 @@ class GNode:
                     # OSS unreachable even after retries: leave the index
                     # untouched so a later pass can still dedup this chunk.
                     continue
-                if owner is None or owner == cid:
-                    index.assign(fp, cid)
-                    continue
-                # Exact duplicate missed online: reverse-deduplicate by
-                # deleting the copy in the *old* container.
-                old_meta = self._old_meta(owner, meta_cache, report)
-                if old_meta is not None and old_meta.mark_deleted(fp):
-                    report.duplicates_removed += 1
-                    report.bytes_marked_deleted += entry.size
-                    dirty.add(owner)
-                    if watch_fps is not None and fp in watch_fps:
-                        report.counters.add("degraded_reclaimed")
+                self._settle_owner(
+                    entry, cid, owner, watch_fps, report, meta_cache, dirty
+                )
                 index.assign(fp, cid)
 
-        self._persist_dirty_metas(meta_cache, dirty, report)
-        return report
+    def _reverse_dedup_batched(
+        self,
+        new_container_ids: list[int],
+        watch_fps: set[bytes] | None,
+        report: ReverseDedupReport,
+        meta_cache: dict[int, ContainerMeta],
+        dirty: set[int],
+    ) -> None:
+        """Per-shard batched lookups; one round trip serves a whole batch.
+
+        Index writes are buffered per container and flushed with
+        :meth:`GlobalIndex.put_many`, so a later container's lookups still
+        observe every assignment of the containers before it — the same
+        index states the serial path walks through.
+        """
+        index = self.storage.global_index
+        batch_size = max(1, self.config.index_batch_size)
+        for cid in new_container_ids:
+            meta = self._read_new_meta(cid, report)
+            assignments: list[tuple[bytes, int]] = []
+            lookups = []
+            for entry in meta.entries:
+                if entry.deleted:
+                    continue
+                report.chunks_scanned += 1
+                if not index.maybe_contains(entry.fp):
+                    assignments.append((entry.fp, cid))
+                    report.counters.add("bloom_fast_inserts")
+                else:
+                    lookups.append(entry)
+            for start in range(0, len(lookups), batch_size):
+                batch = lookups[start : start + batch_size]
+                result = index.get_many([entry.fp for entry in batch])
+                if self.config.gdedup_parallel_shards:
+                    report.breakdown.charge("download", result.parallel_seconds())
+                else:
+                    report.breakdown.charge("download", result.serial_seconds())
+                report.breakdown.charge(
+                    "index_query", self.cost_model.cpu_index_query * len(batch)
+                )
+                report.counters.add("gdedup_batches")
+                report.counters.add(
+                    "gdedup_batch_shard_rpcs", len(result.shard_seconds)
+                )
+                if result.failed:
+                    report.counters.add("gdedup_lookup_failures", len(result.failed))
+                failed = set(result.failed)
+                for entry in batch:
+                    if entry.fp in failed:
+                        # Leave the index untouched so a later pass can
+                        # still dedup this chunk.
+                        continue
+                    self._settle_owner(
+                        entry,
+                        cid,
+                        result.owners.get(entry.fp),
+                        watch_fps,
+                        report,
+                        meta_cache,
+                        dirty,
+                    )
+                    assignments.append((entry.fp, cid))
+            index.put_many(assignments)
+
+    def _read_new_meta(self, cid: int, report: ReverseDedupReport) -> ContainerMeta:
+        before = self.storage.oss.stats.snapshot()
+        meta = self.storage.containers.read_meta(cid)
+        report.breakdown.charge(
+            "download", self.storage.oss.stats.diff(before).read_seconds
+        )
+        return meta
+
+    def _settle_owner(
+        self,
+        entry,
+        cid: int,
+        owner: int | None,
+        watch_fps: set[bytes] | None,
+        report: ReverseDedupReport,
+        meta_cache: dict[int, ContainerMeta],
+        dirty: set[int],
+    ) -> None:
+        """Reverse-deduplicate one answered fingerprint against its owner."""
+        if owner is None or owner == cid:
+            return
+        # Exact duplicate missed online: reverse-deduplicate by deleting
+        # the copy in the *old* container.
+        old_meta = self._old_meta(owner, meta_cache, report)
+        if old_meta is not None and old_meta.mark_deleted(entry.fp):
+            report.duplicates_removed += 1
+            report.bytes_marked_deleted += entry.size
+            dirty.add(owner)
+            if watch_fps is not None and entry.fp in watch_fps:
+                report.counters.add("degraded_reclaimed")
 
     def _index_lookup(self, fp: bytes, report: ReverseDedupReport):
         before = self.storage.oss.stats.snapshot()

@@ -36,6 +36,7 @@ class StorageLayer:
         bloom_capacity: int = 1 << 20,
         use_bloom: bool = True,
         retry_policy: RetryPolicy | None = None,
+        index_shard_count: int = 1,
     ) -> "StorageLayer":
         """Create all stores on one OSS endpoint.
 
@@ -50,6 +51,10 @@ class StorageLayer:
             recipes=RecipeStore(endpoint, bucket),
             similar_index=SimilarFileIndex(endpoint, bucket),
             global_index=GlobalIndex(
-                endpoint, index_bucket, bloom_capacity=bloom_capacity, use_bloom=use_bloom
+                endpoint,
+                index_bucket,
+                bloom_capacity=bloom_capacity,
+                use_bloom=use_bloom,
+                shard_count=index_shard_count,
             ),
         )

@@ -212,6 +212,7 @@ class SlimStore:
             bloom_capacity=self.config.global_bloom_capacity,
             use_bloom=self.config.gdedup_bloom_filter,
             retry_policy=retry_policy,
+            index_shard_count=self.config.index_shard_count,
         )
         self.lnodes = [
             LNode(i, self.config, self.storage, self.cost_model)

@@ -9,7 +9,7 @@ exposes ``recover()`` to rebuild state from OSS after a simulated crash.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.sstable import SSTable
@@ -80,6 +80,40 @@ class LSMStore:
             if value is not None:
                 return None if value == TOMBSTONE else value
         return None
+
+    def get_many(self, keys: list[bytes]) -> dict[bytes, bytes | None]:
+        """Batched point lookups; every requested key appears in the result.
+
+        The memtable answers first; the remainder goes to the SSTables
+        newest-first via :meth:`SSTable.get_many`, which coalesces index
+        blocks into ranged GETs — far fewer OSS round trips than calling
+        :meth:`get` per key.
+        """
+        results: dict[bytes, bytes | None] = {}
+        unresolved: list[bytes] = []
+        for key in dict.fromkeys(keys):
+            value = self._memtable.get(key)
+            if value is not None:
+                results[key] = None if value == TOMBSTONE else value
+            else:
+                unresolved.append(key)
+        for table in reversed(self._sstables):
+            if not unresolved:
+                break
+            found = table.get_many(unresolved)
+            if not found:
+                continue
+            for key, value in found.items():
+                results[key] = None if value == TOMBSTONE else value
+            unresolved = [key for key in unresolved if key not in found]
+        for key in unresolved:
+            results[key] = None
+        return results
+
+    def put_many(self, items: Iterable[tuple[bytes, bytes]]) -> None:
+        """Insert or overwrite a batch of keys (may trigger flushes)."""
+        for key, value in items:
+            self.put(key, value)
 
     def __contains__(self, key: bytes) -> bool:
         return self.get(key) is not None

@@ -176,6 +176,51 @@ class SSTable:
                 return None
         return None
 
+    def get_many(self, keys: Iterable[bytes]) -> dict[bytes, bytes]:
+        """Batched point lookups; returns only the keys found here.
+
+        Keys are Bloom-filtered, mapped to their index blocks, and adjacent
+        needed blocks are coalesced into one ranged GET — the Rocks-OSS
+        batching that lets a single round trip answer a whole container's
+        worth of fingerprint queries instead of one GET per key.
+        """
+        if not self._index_keys:
+            return {}
+        by_block: dict[int, list[bytes]] = {}
+        for key in dict.fromkeys(keys):
+            if not self.may_contain(key):
+                continue
+            block_index = bisect_right(self._index_keys, key) - 1
+            if block_index >= 0:
+                by_block.setdefault(block_index, []).append(key)
+        if not by_block:
+            return {}
+
+        results: dict[bytes, bytes] = {}
+        blocks = sorted(by_block)
+        run_start = 0
+        while run_start < len(blocks):
+            run_end = run_start
+            while (
+                run_end + 1 < len(blocks)
+                and blocks[run_end + 1] == blocks[run_end] + 1
+            ):
+                run_end += 1
+            first, last = blocks[run_start], blocks[run_end]
+            start = self._index_offsets[first]
+            end = (
+                self._index_offsets[last + 1]
+                if last + 1 < len(self._index_offsets)
+                else self._data_length
+            )
+            wanted = {key for block in blocks[run_start : run_end + 1] for key in by_block[block]}
+            blob = self._oss.get_range(self._bucket, self.object_key, start, end - start)
+            for record_key, value in _iter_records(blob):
+                if record_key in wanted:
+                    results[record_key] = value
+            run_start = run_end + 1
+        return results
+
     def iter_items(self) -> Iterator[tuple[bytes, bytes]]:
         """Full scan in key order (one whole-object GET), for compaction."""
         data = self._oss.get_range(self._bucket, self.object_key, 0, self._data_length)

@@ -47,6 +47,36 @@ def parallel_channel_time(
     return nbytes / bandwidth
 
 
+def batched_round_trips(keys: int, batch_size: int) -> int:
+    """Index round trips needed to answer ``keys`` lookups in batches.
+
+    Batch size 1 degenerates to one Rocks-OSS round trip per key, the
+    access pattern the sharded-index ablation measures against.
+    """
+    if keys < 0 or batch_size < 1:
+        raise ValueError(f"invalid keys={keys} batch_size={batch_size}")
+    return -(-keys // batch_size)
+
+
+def sharded_drain_time(
+    per_shard_requests: Iterable[int], request_seconds: float
+) -> float:
+    """Seconds to drain per-shard request queues with one server per shard.
+
+    Shards are independent stores, so their queues drain concurrently and
+    the slowest shard sets the pace — the parallel-batch drain of the
+    G-node's reverse-dedup pass.
+    """
+    requests = list(per_shard_requests)
+    if any(r < 0 for r in requests):
+        raise ValueError("per-shard request counts must be non-negative")
+    if request_seconds < 0:
+        raise ValueError("request duration must be non-negative")
+    if not requests:
+        return 0.0
+    return max(requests) * request_seconds
+
+
 def contended_time(per_job_seconds: float, jobs: int, slots: int) -> float:
     """Duration of ``jobs`` equal tasks on ``slots`` parallel executors.
 

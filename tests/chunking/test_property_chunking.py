@@ -1,0 +1,161 @@
+"""Property-based chunking invariants (Hypothesis).
+
+Everything above the chunker trusts three facts: the chunks concatenate
+back to the input, every cut respects the configured size band, and the
+cut positions are a pure function of content (which is what makes skip
+chunking sound: replaying a previous version's cut points on identical
+data must land on admissible boundaries).  These tests state those facts
+as properties over arbitrary byte streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.base import ChunkerParams, make_chunker
+from repro.chunking.superchunk import MergePolicy
+
+CHUNKER_NAMES = ["fixed", "gear", "rabin", "fastcdc"]
+#: Small band so even a few KB of input crosses many cut points.
+PARAMS = ChunkerParams(min_size=64, avg_size=256, max_size=1024)
+
+payloads = st.one_of(
+    st.binary(min_size=0, max_size=16 * 1024),
+    # Low-entropy inputs: long runs defeat naive rolling-hash conditions.
+    st.integers(0, 255).flatmap(
+        lambda b: st.integers(1, 16 * 1024).map(lambda n: bytes([b]) * n)
+    ),
+)
+
+
+@pytest.mark.parametrize("name", CHUNKER_NAMES)
+@given(data=payloads)
+def test_chunks_concatenate_to_input(name, data):
+    chunker = make_chunker(name, PARAMS)
+    chunks = chunker.chunk(data)
+    assert b"".join(chunk.data for chunk in chunks) == data
+    # Chunk spans tile the stream exactly.
+    position = 0
+    for chunk in chunks:
+        assert chunk.start == position
+        assert chunk.end - chunk.start == len(chunk.data)
+        position = chunk.end
+    assert position == len(data)
+
+
+@pytest.mark.parametrize("name", CHUNKER_NAMES)
+@given(data=payloads)
+def test_chunk_sizes_respect_the_band(name, data):
+    chunker = make_chunker(name, PARAMS)
+    chunks = chunker.chunk(data)
+    for chunk in chunks[:-1]:
+        assert PARAMS.min_size <= len(chunk.data) <= PARAMS.max_size
+    if chunks:
+        assert len(chunks[-1].data) <= PARAMS.max_size
+
+
+@pytest.mark.parametrize("name", CHUNKER_NAMES)
+@given(data=payloads)
+def test_cut_points_are_content_defined_and_replayable(name, data):
+    """Identical content yields identical cuts, and every produced cut is
+    admissible under ``is_cut`` — the exact probe skip chunking replays."""
+    chunker = make_chunker(name, PARAMS)
+    first = [(c.start, c.end) for c in chunker.chunk(data)]
+    second = [(c.start, c.end) for c in make_chunker(name, PARAMS).chunk(data)]
+    assert first == second
+    boundary_set = chunker.boundaries(data)
+    for start, end in first:
+        assert boundary_set.is_cut(start, end)
+
+
+# ---------------------------------------------------------------------------
+# Superchunk merge planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Record:
+    size: int
+    duplicate_times: int
+    is_superchunk: bool
+    is_duplicate: bool
+
+
+records = st.lists(
+    st.builds(
+        _Record,
+        size=st.integers(1, 8 * 1024),
+        duplicate_times=st.integers(0, 10),
+        is_superchunk=st.booleans(),
+        is_duplicate=st.booleans(),
+    ),
+    max_size=40,
+)
+
+policies = st.builds(
+    MergePolicy,
+    enabled=st.just(True),
+    threshold=st.integers(1, 6),
+    min_superchunk_bytes=st.just(2 * 1024),
+    max_superchunk_bytes=st.just(8 * 1024),
+)
+
+
+@given(policy=policies, items=records)
+def test_merge_runs_are_disjoint_qualified_and_in_band(policy, items):
+    runs = policy.plan_merge_runs(items)
+    previous_end = 0
+    for start, end in runs:
+        # Sorted, disjoint, in range.
+        assert 0 <= start < end <= len(items)
+        assert start >= previous_end
+        previous_end = end
+        # Every merged record qualifies under the policy.
+        for record in items[start:end]:
+            assert policy.record_qualifies(record)
+        # The resulting superchunk fits the configured size band.
+        total = sum(record.size for record in items[start:end])
+        assert policy.min_superchunk_bytes <= total <= policy.max_superchunk_bytes
+
+
+@given(items=records)
+def test_disabled_policy_never_merges(items):
+    policy = MergePolicy(
+        enabled=False,
+        min_superchunk_bytes=2 * 1024,
+        max_superchunk_bytes=8 * 1024,
+    )
+    assert policy.plan_merge_runs(items) == []
+
+
+# ---------------------------------------------------------------------------
+# Skip-chunking replay determinism at the system level
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 2**31), versions=st.integers(1, 3))
+@settings(max_examples=10)
+def test_two_identical_stores_ingest_identically(seed, versions):
+    """Skip chunking replays history; two stores fed the same stream must
+    make identical decisions (counters included) and both restore exactly."""
+    import numpy as np
+
+    from repro import SlimStore
+    from tests.conftest import SMALL_CONFIG, make_version_chain
+
+    chain = make_version_chain(
+        np.random.default_rng(seed), versions=versions, size=64 * 1024
+    )
+    first, second = SlimStore(SMALL_CONFIG), SlimStore(SMALL_CONFIG)
+    for data in chain:
+        result_a = first.backup("f", data).result
+        result_b = second.backup("f", data).result
+        assert result_a.counters.as_dict() == result_b.counters.as_dict()
+        assert result_a.unique_fps == result_b.unique_fps
+    for version, data in enumerate(chain):
+        assert first.restore("f", version).data == data
+        assert second.restore("f", version).data == data

@@ -5,9 +5,40 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.config import SlimStoreConfig
 from repro.oss.object_store import ObjectStorageService
 from repro.sim.clock import SimClock
 from repro.sim.cost_model import CostModel
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    settings = None
+
+if settings is not None:
+    # One deterministic profile for every property test: derandomized so
+    # CI and local runs explore the identical example sequence, with the
+    # deadline off (the simulated OSS makes some examples slow on cold
+    # caches, which is load, not a bug).
+    settings.register_profile(
+        "repro-deterministic",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    settings.load_profile("repro-deterministic")
+
+
+#: Small store geometry shared by the integration suites: containers and
+#: superchunks sized so test payloads of a few hundred KB still exercise
+#: merging, sparse compaction and reverse dedup.
+SMALL_CONFIG = SlimStoreConfig(
+    container_bytes=64 * 1024,
+    segment_bytes=32 * 1024,
+    min_superchunk_bytes=16 * 1024,
+    max_superchunk_bytes=32 * 1024,
+    merge_threshold=3,
+)
 
 
 @pytest.fixture
@@ -35,3 +66,56 @@ def mutate(rng: np.random.Generator, data: bytes, runs: int, run_bytes: int) -> 
         start = int(rng.integers(0, max(1, len(out) - run)))
         out[start : start + run] = random_bytes(rng, run)
     return bytes(out)
+
+
+def make_version_chain(
+    rng: np.random.Generator,
+    versions: int = 6,
+    size: int = 256 * 1024,
+    runs: int = 2,
+    run_bytes: int = 8 * 1024,
+) -> list[bytes]:
+    """A seeded multi-version workload: a base file plus clustered edits.
+
+    This is the canonical backup stream of the integration tests — enough
+    shared data between versions for dedup, merging and reverse dedup to
+    all trigger under :data:`SMALL_CONFIG` geometry.
+    """
+    chain = [random_bytes(rng, size)]
+    for _ in range(versions - 1):
+        chain.append(mutate(rng, chain[-1], runs=runs, run_bytes=run_bytes))
+    return chain
+
+
+def make_chaos_store(seed: int = 2026, config: SlimStoreConfig | None = None, **rates):
+    """A SlimStore whose OSS injects faults, fronted by a retrying client."""
+    from repro import FaultPolicy, RetryPolicy, SlimStore
+
+    faults = FaultPolicy(seed=seed, **rates)
+    oss = ObjectStorageService(faults=faults)
+    store = SlimStore(
+        config or SMALL_CONFIG,
+        oss,
+        retry_policy=RetryPolicy(
+            seed=seed, base_delay=0.01, max_delay=0.2, backoff_budget_seconds=5.0
+        ),
+    )
+    return store, faults
+
+
+@pytest.fixture
+def version_chain(rng) -> list[bytes]:
+    """The default six-version seeded workload."""
+    return make_version_chain(rng)
+
+
+@pytest.fixture
+def aged_store(rng):
+    """A store with history: merging, compaction and reverse dedup ran."""
+    from repro import SlimStore
+
+    store = SlimStore(SMALL_CONFIG)
+    payloads = make_version_chain(rng)
+    for payload in payloads:
+        store.backup("f", payload)
+    return store, payloads

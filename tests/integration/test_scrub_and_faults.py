@@ -2,33 +2,16 @@
 
 import pytest
 
-from repro import FaultPolicy, RetryPolicy, SlimStore, SlimStoreConfig
+from repro import SlimStore
 from repro.cli import main
 from repro.core.scrub import RepositoryScrubber
 from repro.errors import RestoreError, RetryExhaustedError
-from repro.oss.object_store import ObjectStorageService
-from tests.conftest import mutate, random_bytes
-
-CONFIG = SlimStoreConfig(
-    container_bytes=64 * 1024,
-    segment_bytes=32 * 1024,
-    min_superchunk_bytes=16 * 1024,
-    max_superchunk_bytes=32 * 1024,
-    merge_threshold=3,
+from tests.conftest import (
+    SMALL_CONFIG as CONFIG,
+    make_chaos_store as chaos_store,
+    mutate,
+    random_bytes,
 )
-
-
-@pytest.fixture
-def aged_store(rng):
-    """A store with history: merging, compaction and reverse dedup ran."""
-    store = SlimStore(CONFIG)
-    data = random_bytes(rng, 256 * 1024)
-    payloads = [data]
-    store.backup("f", data)
-    for _ in range(5):
-        payloads.append(mutate(rng, payloads[-1], runs=2, run_bytes=8 * 1024))
-        store.backup("f", payloads[-1])
-    return store, payloads
 
 
 class TestScrubClean:
@@ -126,20 +109,6 @@ class TestFaultTolerance:
 # ---------------------------------------------------------------------------
 # Fault injection, degraded-mode dedup and scrub repair
 # ---------------------------------------------------------------------------
-
-def chaos_store(seed=2026, **rates):
-    """A SlimStore whose OSS injects faults, fronted by a retrying client."""
-    faults = FaultPolicy(seed=seed, **rates)
-    oss = ObjectStorageService(faults=faults)
-    store = SlimStore(
-        CONFIG,
-        oss,
-        retry_policy=RetryPolicy(
-            seed=seed, base_delay=0.01, max_delay=0.2, backoff_budget_seconds=5.0
-        ),
-    )
-    return store, faults
-
 
 def find_duplicate_chunk(store):
     """A fingerprint with two live physical copies, or None."""

@@ -1,0 +1,81 @@
+"""Batched multi-get on the LSM store: semantics and round-trip savings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore.lsm import LSMStore
+
+
+@pytest.fixture
+def store(oss) -> LSMStore:
+    oss.create_bucket("kv")
+    return LSMStore(oss, "kv", name="batched")
+
+
+def _key(i: int) -> bytes:
+    return f"key-{i:06d}".encode()
+
+
+class TestLSMGetMany:
+    def test_answers_match_serial_gets(self, store):
+        for i in range(300):
+            store.put(_key(i), f"value-{i}".encode())
+        store.flush()
+        for i in range(300, 330):  # newer records stay in the memtable
+            store.put(_key(i), f"value-{i}".encode())
+
+        wanted = [_key(i) for i in range(0, 340, 7)]
+        batched = store.get_many(wanted)
+        assert set(batched) == set(wanted)
+        for key in wanted:
+            assert batched[key] == store.get(key)
+
+    def test_missing_and_deleted_keys_are_none(self, store):
+        store.put(b"alive", b"1")
+        store.put(b"doomed", b"2")
+        store.flush()
+        store.delete(b"doomed")
+        store.flush()
+        result = store.get_many([b"alive", b"doomed", b"absent"])
+        assert result == {b"alive": b"1", b"doomed": None, b"absent": None}
+
+    def test_newest_table_wins_across_flushes(self, store):
+        store.put(b"k", b"old")
+        store.flush()
+        store.put(b"k", b"new")
+        store.flush()
+        assert store.get_many([b"k"]) == {b"k": b"new"}
+
+    def test_duplicate_keys_resolve_once(self, store):
+        store.put(b"k", b"v")
+        store.flush()
+        assert store.get_many([b"k", b"k", b"k"]) == {b"k": b"v"}
+
+    def test_empty_batch(self, store):
+        assert store.get_many([]) == {}
+
+    def test_batched_reads_need_fewer_round_trips(self, store, oss):
+        """Coalesced ranged GETs: the whole point of the batched API."""
+        keys = [_key(i) for i in range(512)]
+        for key in keys:
+            store.put(key, key[::-1])
+        store.flush()
+
+        before = oss.stats.snapshot()
+        for key in keys:
+            store.get(key)
+        serial_gets = oss.stats.diff(before).get_requests
+
+        before = oss.stats.snapshot()
+        batched = store.get_many(keys)
+        batched_gets = oss.stats.diff(before).get_requests
+
+        assert batched == {key: key[::-1] for key in keys}
+        assert batched_gets < serial_gets / 8
+
+    def test_put_many_equals_serial_puts(self, store):
+        store.put_many([(_key(i), b"x" * i) for i in range(1, 50)])
+        store.flush()
+        for i in range(1, 50):
+            assert store.get(_key(i)) == b"x" * i

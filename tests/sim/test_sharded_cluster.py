@@ -1,0 +1,129 @@
+"""Cluster ingest against the sharded index: event sim vs closed form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scaling import sharded_index_drain_seconds
+from repro.core.cluster import ClusterSimulator, JobSpec, ShardedIndexSpec
+from repro.sim.cost_model import CostModel
+from repro.sim.parallel import batched_round_trips, sharded_drain_time
+
+MB = float(1 << 20)
+
+
+class TestParallelHelpers:
+    def test_batched_round_trips_is_ceiling_division(self):
+        assert batched_round_trips(0, 256) == 0
+        assert batched_round_trips(1, 256) == 1
+        assert batched_round_trips(256, 256) == 1
+        assert batched_round_trips(257, 256) == 2
+        assert batched_round_trips(512, 1) == 512
+
+    def test_batched_round_trips_validates(self):
+        with pytest.raises(ValueError):
+            batched_round_trips(-1, 4)
+        with pytest.raises(ValueError):
+            batched_round_trips(4, 0)
+
+    def test_sharded_drain_is_paced_by_the_slowest_shard(self):
+        assert sharded_drain_time([3, 7, 2], 0.5) == pytest.approx(3.5)
+        assert sharded_drain_time([], 0.5) == 0.0
+
+
+class TestShardedIndexSpec:
+    def test_lookups_spread_uniformly(self):
+        spec = ShardedIndexSpec(shard_count=4, batch_size=8)
+        assert spec.per_shard_keys(10) == [3, 3, 2, 2]
+        assert sum(spec.per_shard_keys(1000)) == 1000
+
+    def test_request_keys_tile_the_shard_share(self):
+        spec = ShardedIndexSpec(shard_count=1, batch_size=8)
+        assert spec.request_keys(20) == [8, 8, 4]
+        assert spec.request_keys(0) == []
+
+    def test_total_requests_shrink_with_batching(self):
+        unbatched = ShardedIndexSpec(shard_count=4, batch_size=1)
+        batched = ShardedIndexSpec(shard_count=4, batch_size=256)
+        assert unbatched.total_requests(1024) == 1024
+        assert batched.total_requests(1024) == 4
+
+    def test_validation(self):
+        for bad in [
+            {"shard_count": 0},
+            {"batch_size": 0},
+            {"slots_per_shard": 0},
+        ]:
+            with pytest.raises(ValueError):
+                ShardedIndexSpec(**bad)
+
+
+class TestClusterIndexContention:
+    def _job(self, lookups: int) -> JobSpec:
+        return JobSpec(
+            logical_bytes=MB, cpu_seconds=0.0, network_bytes=0,
+            index_lookups=lookups,
+        )
+
+    @pytest.mark.parametrize(
+        "shards,batch", [(1, 1), (1, 256), (4, 1), (4, 256), (16, 256)]
+    )
+    def test_makespan_matches_the_closed_form(self, shards, batch):
+        model = CostModel()
+        cluster = ClusterSimulator(
+            4, model, slots_per_node=2,
+            index_spec=ShardedIndexSpec(shard_count=shards, batch_size=batch),
+        )
+        report = cluster.run([self._job(512)] * 8)
+        closed = sharded_index_drain_seconds(
+            512, 8, shards, batch, cost_model=model
+        )
+        assert report.makespan_seconds == pytest.approx(closed)
+
+    def test_sharding_and_batching_each_cut_the_makespan(self):
+        model = CostModel()
+
+        def makespan(shards, batch):
+            cluster = ClusterSimulator(
+                4, model, slots_per_node=2,
+                index_spec=ShardedIndexSpec(shard_count=shards, batch_size=batch),
+            )
+            return cluster.run([self._job(512)] * 8).makespan_seconds
+
+        baseline = makespan(1, 1)
+        assert makespan(4, 1) < baseline / 2  # sharding alone
+        assert makespan(1, 256) < baseline / 2  # batching alone
+        assert makespan(4, 256) < makespan(4, 1)
+        assert makespan(4, 256) < makespan(1, 256)
+
+    def test_rpc_accounting(self):
+        spec = ShardedIndexSpec(shard_count=4, batch_size=256)
+        cluster = ClusterSimulator(2, CostModel(), index_spec=spec)
+        report = cluster.run([self._job(512)] * 6)
+        assert report.index_rpcs == 6 * spec.total_requests(512)
+
+    def test_jobs_without_lookups_skip_the_index(self):
+        spec = ShardedIndexSpec(shard_count=4, batch_size=1)
+        with_index = ClusterSimulator(1, CostModel(), index_spec=spec)
+        without = ClusterSimulator(1, CostModel())
+        job = JobSpec(MB, 0.01, 0)
+        assert (
+            with_index.run([job] * 3).makespan_seconds
+            == without.run([job] * 3).makespan_seconds
+        )
+        assert with_index.run([job] * 3).index_rpcs == 0
+
+    def test_from_backup_result_carries_unique_fps(self):
+        class _Breakdown:
+            def cpu_seconds(self):
+                return 0.25
+
+        class _Result:
+            logical_bytes = MB
+            uploaded_bytes = MB / 2
+            breakdown = _Breakdown()
+            unique_fps = [b"\x01" * 20, b"\x02" * 20]
+
+        spec = JobSpec.from_backup_result(_Result())
+        assert spec.index_lookups == 2
+        assert spec.cpu_seconds == 0.25
