@@ -109,12 +109,28 @@ def _cmd_backup(args: argparse.Namespace) -> int:
 
 def _cmd_restore(args: argparse.Namespace) -> int:
     store = open_repository(args.repo)
-    result = store.restore(args.path, args.version)
+    result = store.restore(
+        args.path,
+        args.version,
+        prefetch_threads=args.prefetch_threads,
+        ranged=False if args.whole_containers else None,
+    )
     output = Path(args.output) if args.output else Path(Path(args.path).name)
     output.write_bytes(result.data)
     print(
         f"restored {args.path}@v{result.version} -> {output} "
         f"({len(result.data)} bytes, {result.containers_read} container reads)"
+    )
+    mode = "ranged" if result.ranged else "whole-container"
+    print(
+        f"  {mode} reads: amplification {result.read_amplification:.2f}x, "
+        f"{result.counters.get('ranged_bytes_saved')} bytes saved, "
+        f"{result.counters.get('prefetch_stalls')} prefetch stalls"
+    )
+    print(
+        f"  elapsed {result.elapsed_seconds * 1000:.1f} ms virtual "
+        f"({result.prefetch_threads} prefetch threads, "
+        f"{result.throughput_mb_s:.1f} MB/s)"
     )
     return 0
 
@@ -216,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     restore.add_argument("--version", type=int, default=None,
                          help="version number (default: latest)")
     restore.add_argument("--output", default=None, help="output file")
+    restore.add_argument("--prefetch-threads", type=int, default=None,
+                         help="parallel OSS prefetch channels (0 disables)")
+    restore.add_argument("--whole-containers", action="store_true",
+                         help="read whole containers instead of ranged GETs")
     restore.set_defaults(handler=_cmd_restore)
 
     versions = commands.add_parser("versions", help="list live versions")

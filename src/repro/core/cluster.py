@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.cost_model import CostModel
-from repro.sim.events import EventLoop, SlotResource
+from repro.sim.events import ChannelPool, EventLoop, RestorePipelineProcess, SlotResource
 from repro.sim.parallel import batched_round_trips
 
 
@@ -45,6 +45,68 @@ class JobSpec:
             cpu_seconds=result.breakdown.cpu_seconds(),
             network_bytes=result.uploaded_bytes,
             index_lookups=0 if unique is None else len(unique),
+        )
+
+
+@dataclass(frozen=True)
+class RestoreJobSpec:
+    """One restore job's measured pipeline trace, replayable on a cluster.
+
+    Carries everything :class:`~repro.sim.events.RestorePipelineProcess`
+    needs: the planned container-read durations in issue order, which read
+    each record blocks on, per-record CPU, and the synchronous demand
+    seconds — so the same trace that timed the job standalone can be
+    re-run with its prefetcher contending for a node's shared OSS
+    channels.
+    """
+
+    logical_bytes: float
+    read_seconds: tuple[float, ...]
+    record_reads: tuple[int, ...]
+    record_cpu: tuple[float, ...]
+    demand_seconds: tuple[float, ...]
+    setup_seconds: float = 0.0
+    prefetch_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.prefetch_threads < 0:
+            raise ValueError(f"prefetch_threads cannot be negative: {self.prefetch_threads}")
+        if len(self.record_reads) != len(self.record_cpu) or len(
+            self.record_cpu
+        ) != len(self.demand_seconds):
+            raise ValueError("per-record traces must align")
+
+    @classmethod
+    def from_restore_result(cls, result) -> "RestoreJobSpec":
+        """Build a spec from a measured :class:`RestoreResult`."""
+        return cls(
+            logical_bytes=result.logical_bytes,
+            read_seconds=tuple(result.read_seconds),
+            record_reads=tuple(result.record_reads),
+            record_cpu=tuple(result.record_cpu),
+            demand_seconds=tuple(result.demand_seconds),
+            setup_seconds=result.setup_seconds,
+            prefetch_threads=result.prefetch_threads,
+        )
+
+    def serialised(self) -> "RestoreJobSpec":
+        """The same trace with every read folded into demand time.
+
+        Models ``prefetch_threads == 0``: no prefetcher, the consumer
+        issues each read synchronously when it reaches the record.
+        """
+        demand = list(self.demand_seconds)
+        for index, read in enumerate(self.record_reads):
+            if read >= 0:
+                demand[index] += self.read_seconds[read]
+        return RestoreJobSpec(
+            logical_bytes=self.logical_bytes,
+            read_seconds=(),
+            record_reads=tuple([-1] * len(self.record_reads)),
+            record_cpu=self.record_cpu,
+            demand_seconds=tuple(demand),
+            setup_seconds=self.setup_seconds,
+            prefetch_threads=0,
         )
 
 
@@ -107,6 +169,12 @@ class ClusterRunReport:
     completion_times: list[float] = field(default_factory=list)
     #: Round trips served by the shared index (0 without an index model).
     index_rpcs: int = 0
+    #: Consumer stalls across all restore jobs (restore schedules only).
+    prefetch_stalls: int = 0
+    #: Virtual seconds restore consumers spent blocked on reads.
+    prefetch_stall_seconds: float = 0.0
+    #: Busy seconds of each node's OSS channels (restore schedules only).
+    node_channel_busy_seconds: list[list[float]] = field(default_factory=list)
 
     @property
     def aggregate_throughput_mb_s(self) -> float:
@@ -237,4 +305,72 @@ class ClusterSimulator:
     def backup_throughput(self, job: JobSpec, jobs: int) -> float:
         """Aggregate MB/s for ``jobs`` identical concurrent jobs."""
         report = self.run([job] * jobs)
+        return report.aggregate_throughput_mb_s
+
+    # --- restore schedules --------------------------------------------------
+    def run_restores(
+        self,
+        jobs: list[RestoreJobSpec],
+        restore_slots: int | None = None,
+        channels_per_node: int | None = None,
+    ) -> ClusterRunReport:
+        """Dispatch concurrent restore jobs with OSS-channel contention.
+
+        Each node offers ``restore_slots`` concurrent restore jobs
+        (``node_restore_slots``: "each L-node can execute up to eight
+        restore jobs at the same time") and one shared
+        :class:`~repro.sim.events.ChannelPool` of ``channels_per_node``
+        OSS channels (``node_oss_channels``, the NIC-saturation point).
+        A job holding a slot pays its serial setup, then replays its
+        measured pipeline trace with its prefetcher competing for the
+        node's channels — the Fig 10(b)-style restore scaling from the
+        same machinery as ingest.  Jobs with ``prefetch_threads == 0``
+        run their reads synchronously (folded into demand time).
+        """
+        slots = restore_slots or self.model.node_restore_slots
+        channels = channels_per_node or self.model.node_oss_channels
+        loop = EventLoop()
+        nodes = [SlotResource(loop, slots) for _ in range(self.lnode_count)]
+        pools = [ChannelPool(loop, channels) for _ in range(self.lnode_count)]
+        report = ClusterRunReport(0.0, sum(job.logical_bytes for job in jobs))
+
+        def dispatch(job: RestoreJobSpec, node: SlotResource, pool: ChannelPool) -> None:
+            if job.prefetch_threads == 0:
+                job = job.serialised()
+
+            def start() -> None:
+                def run_pipeline() -> None:
+                    def finish(process: RestorePipelineProcess) -> None:
+                        report.completion_times.append(loop.now)
+                        report.prefetch_stalls += process.stats.stall_count
+                        report.prefetch_stall_seconds += process.stats.stall_seconds
+                        node.release()
+
+                    process = RestorePipelineProcess(
+                        loop,
+                        pool,
+                        job.read_seconds,
+                        job.record_reads,
+                        job.record_cpu,
+                        demand_seconds=job.demand_seconds,
+                        max_parallel=max(1, job.prefetch_threads),
+                        on_done=lambda: finish(process),
+                    )
+                    process.start()
+
+                loop.schedule(job.setup_seconds, run_pipeline)
+
+            node.acquire(start)
+
+        for index, job in enumerate(jobs):
+            node = index % len(nodes)
+            dispatch(job, nodes[node], pools[node])
+
+        report.makespan_seconds = loop.run()
+        report.node_channel_busy_seconds = [list(pool.busy_seconds) for pool in pools]
+        return report
+
+    def restore_throughput(self, job: RestoreJobSpec, jobs: int) -> float:
+        """Aggregate restore MB/s for ``jobs`` identical concurrent jobs."""
+        report = self.run_restores([job] * jobs)
         return report.aggregate_throughput_mb_s

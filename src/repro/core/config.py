@@ -68,6 +68,14 @@ class SlimStoreConfig:
     prefetch_threads: int = 6
     #: Verify each restored chunk against its fingerprint.
     verify_restore: bool = True
+    #: Read only the planned chunk extents of each container (coalesced
+    #: ranged GETs) instead of whole data objects.
+    ranged_reads: bool = True
+    #: Coalesce ranged-read extents across gaps up to this many bytes: at
+    #: 0.5 ms request latency and 40 MiB/s per channel, re-reading up to
+    #: ~latency x bandwidth ~= 20 KiB of dead bytes beats paying another
+    #: round trip.
+    ranged_read_gap_bytes: int = 16 * 1024
 
     # --- G-node ------------------------------------------------------------------
     #: Exact (reverse) deduplication offline.
@@ -116,6 +124,10 @@ class SlimStoreConfig:
             raise ValueError("need at least one L-node")
         if self.prefetch_threads < 0:
             raise ValueError("prefetch_threads cannot be negative")
+        if self.ranged_read_gap_bytes < 0:
+            raise ValueError(
+                f"ranged_read_gap_bytes cannot be negative: {self.ranged_read_gap_bytes}"
+            )
         if self.index_shard_count < 1:
             raise ValueError(f"index_shard_count must be >= 1: {self.index_shard_count}")
         if self.index_batch_size < 1:

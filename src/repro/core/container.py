@@ -257,6 +257,22 @@ class ContainerStore:
         )
         return ContainerMeta.from_bytes(payload)
 
+    def read_spans(
+        self, container_id: int, spans: list[tuple[int, int]], channels: int = 1
+    ) -> list[tuple[int, bytes]]:
+        """Ranged reads of coalesced chunk extents from one container.
+
+        ``spans`` is a list of ``(offset, length)`` byte extents (one
+        ranged GET each); returns ``(offset, payload)`` pairs.  This is
+        the restore planner's access pattern: instead of paying
+        whole-container read amplification for a handful of live chunks,
+        only the planned extents cross the wire.
+        """
+        payloads = self._oss.get_ranges(
+            self._bucket, self.DATA_KEY.format(cid=container_id), spans, channels
+        )
+        return [(offset, data) for (offset, _), data in zip(spans, payloads)]
+
     def read_chunk(self, container_id: int, fp: bytes) -> bytes | None:
         """Ranged read of a single chunk (meta lookup + ranged GET)."""
         meta = self.read_meta(container_id)

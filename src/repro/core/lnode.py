@@ -49,8 +49,9 @@ class LNode:
         version: int,
         prefetch_threads: int | None = None,
         verify: bool | None = None,
+        ranged: bool | None = None,
     ) -> RestoreResult:
         """Run one restore job."""
         engine = RestoreEngine(self.config, self.storage, self.cost_model)
         self.jobs_executed += 1
-        return engine.restore(path, version, prefetch_threads, verify)
+        return engine.restore(path, version, prefetch_threads, verify, ranged)

@@ -1,32 +1,44 @@
 """Online restoration on the L-node (Section V).
 
 The restore job loads the target recipe, builds the per-file counting Bloom
-filter (full vision), and walks the chunk sequence with the look-ahead
-window.  Containers are fetched whole; LAW-based prefetching overlaps those
-reads with restore CPU over ``prefetch_threads`` parallel OSS channels, so
-job duration is ``max(cpu, download/threads)`` — with 0 threads every read
-blocks the pipeline (the Table II contrast).
+filter (full vision), and precomputes the container access schedule with
+:class:`~repro.core.restore_plan.RestorePlanner`.  In ranged mode only the
+planned chunk extents cross the wire (coalesced ranged GETs); in
+whole-container mode the seed access pattern is preserved exactly.
+
+Job duration comes from the event-driven LAW prefetch pipeline
+(:func:`repro.sim.events.simulate_restore_pipeline`): ``prefetch_threads``
+channels issue the planned reads ahead of the consumer, which blocks only
+when the read holding its next chunk has not completed.  The closed form
+``max(cpu, download/threads)`` the seed used stays available as
+:attr:`RestoreResult.closed_form_elapsed_seconds` — the cross-check the
+event schedule is validated against.
 
 Chunks of old versions may have been moved by reverse deduplication or
 sparse container compaction; when a recipe's container no longer holds a
 fingerprint, the job redirects through the global index (Section VI-A:
 "may cause extra query of the global index ... when restoring old
-versions").
+versions").  Ranged mode resolves those redirects at plan time; whole mode
+discovers them lazily at consume time, as the seed did.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 
 from repro.core.config import SlimStoreConfig
 from repro.core.recipe import ChunkRecord
 from repro.core.restore_cache import FullVisionCache, LookAheadWindow
+from repro.core.restore_plan import PlannedRead, RestorePlan, RestorePlanner
 from repro.core.storage import StorageLayer
 from repro.errors import IntegrityError, RestoreError
 from repro.fingerprint.hashing import fingerprint
 from repro.kvstore.bloom import CountingBloomFilter
 from repro.sim.cost_model import CostModel
+from repro.sim.events import PipelineStats, simulate_restore_pipeline
 from repro.sim.metrics import Counters, TimeBreakdown
+from repro.sim.parallel import prefetched_restore_time
 
 
 @dataclass
@@ -39,6 +51,20 @@ class RestoreResult:
     breakdown: TimeBreakdown
     counters: Counters
     prefetch_threads: int
+    #: Whether the job used ranged container reads.
+    ranged: bool = False
+    #: Event-simulated pipeline outcome (None for an empty restore).
+    pipeline: PipelineStats | None = None
+    #: Serial prefix paid before the pipeline: recipe fetch + planning.
+    setup_seconds: float = 0.0
+    #: Measured duration of each container read, in issue order.
+    read_seconds: list[float] = field(default_factory=list)
+    #: Per record: index into ``read_seconds`` it triggered (-1: none).
+    record_reads: list[int] = field(default_factory=list)
+    #: Per record: CPU seconds spent verifying and splicing.
+    record_cpu: list[float] = field(default_factory=list)
+    #: Per record: synchronous demand-read seconds (redirects, evictions).
+    demand_seconds: list[float] = field(default_factory=list)
 
     @property
     def logical_bytes(self) -> int:
@@ -66,12 +92,19 @@ class RestoreResult:
 
     @property
     def elapsed_seconds(self) -> float:
-        """Virtual job duration under the prefetching model."""
-        cpu = self.breakdown.cpu_seconds()
-        download = self.breakdown.download
-        if self.prefetch_threads >= 1:
-            return max(cpu, download / self.prefetch_threads)
-        return cpu + download
+        """Virtual job duration from the event-driven pipeline."""
+        if self.pipeline is not None:
+            return self.pipeline.elapsed_seconds
+        return self.closed_form_elapsed_seconds
+
+    @property
+    def closed_form_elapsed_seconds(self) -> float:
+        """The seed's ``max(cpu, download/threads)`` duration model."""
+        return prefetched_restore_time(
+            self.breakdown.cpu_seconds(),
+            self.breakdown.download,
+            self.prefetch_threads,
+        )
 
     @property
     def throughput_mb_s(self) -> float:
@@ -101,25 +134,36 @@ class RestoreEngine:
         version: int,
         prefetch_threads: int | None = None,
         verify: bool | None = None,
+        ranged: bool | None = None,
     ) -> RestoreResult:
         """Reassemble one backup version from OSS."""
         threads = self.config.prefetch_threads if prefetch_threads is None else prefetch_threads
         check = self.config.verify_restore if verify is None else verify
+        use_ranged = self.config.ranged_reads if ranged is None else ranged
         breakdown = TimeBreakdown()
         counters = Counters()
 
-        before = self.storage.oss.stats.snapshot()
-        recipe = self.storage.recipes.get_recipe(path, version)
-        breakdown.charge("download", self.storage.oss.stats.diff(before).read_seconds)
+        with self.storage.meter_reads() as recipe_meter:
+            recipe = self.storage.recipes.get_recipe(path, version)
+        recipe_seconds = recipe_meter.seconds
+        breakdown.charge("download", recipe_seconds)
 
         records = recipe.all_records()
         if not records:
-            return RestoreResult(path, version, b"", breakdown, counters, threads)
+            return RestoreResult(
+                path, version, b"", breakdown, counters, threads, ranged=use_ranged
+            )
+
+        planner = RestorePlanner(self.storage, self.cost_model)
+        plan = planner.plan(
+            records, use_ranged, self.config.ranged_read_gap_bytes, breakdown, counters
+        )
+        setup_seconds = recipe_seconds + plan.plan_seconds
 
         cbf = CountingBloomFilter(max(64, len(records)), false_positive_rate=0.001)
-        for record in records:
+        for record in plan.resolved:
             cbf.add(record.fp)
-        law = LookAheadWindow(records, self.config.law_window_records)
+        law = LookAheadWindow(plan.resolved, self.config.law_window_records)
         cache = FullVisionCache(
             self.config.restore_cache_bytes,
             self.config.restore_disk_cache_bytes,
@@ -129,26 +173,162 @@ class RestoreEngine:
 
         output = bytearray()
         containers_seen: set[int] = set()
-        for index, record in enumerate(records):
+        read_seconds: list[float] = []
+        record_reads = [-1] * len(plan.resolved)
+        record_cpu = [0.0] * len(plan.resolved)
+        demand_seconds = [0.0] * len(plan.resolved)
+        for index, record in enumerate(plan.resolved):
             data = cache.lookup(record.fp)
             if data is None:
-                data = self._fetch_for(record, cache, containers_seen, breakdown, counters)
+                read_index = plan.read_for_record[index]
+                if read_index >= 0:
+                    seconds = self._execute_planned_read(
+                        plan, plan.reads[read_index], cache,
+                        containers_seen, breakdown, counters,
+                    )
+                    if seconds is not None:
+                        record_reads[index] = len(read_seconds)
+                        read_seconds.append(seconds)
+                        data = cache.peek(record.fp)
+                if data is None:
+                    data, demand = self._demand_fetch(
+                        record,
+                        record_reads[index] >= 0,
+                        cache,
+                        containers_seen,
+                        breakdown,
+                        counters,
+                    )
+                    demand_seconds[index] += demand
+            cpu = 0.0
             if check:
-                breakdown.charge("other", self.cost_model.fingerprint_cost(len(data)))
+                cpu += self.cost_model.fingerprint_cost(len(data))
                 if fingerprint(data) != record.fp:
                     raise IntegrityError(
                         f"chunk fingerprint mismatch restoring {path}@v{version} "
                         f"(record {index})"
                     )
             output += data
-            breakdown.charge("other", self.cost_model.cpu_restore_per_byte * len(data))
+            cpu += self.cost_model.cpu_restore_per_byte * len(data)
+            breakdown.charge("other", cpu)
+            record_cpu[index] = cpu
             cache.consume(record.fp)
             law.advance_past(index)
 
         counters.counts.update(cache.counters.counts)
-        return RestoreResult(path, version, bytes(output), breakdown, counters, threads)
+        pipeline = simulate_restore_pipeline(
+            read_seconds,
+            record_reads,
+            record_cpu,
+            threads,
+            demand_seconds=demand_seconds,
+            setup_seconds=setup_seconds,
+        )
+        counters.add("prefetch_stalls", pipeline.stall_count)
+        return RestoreResult(
+            path,
+            version,
+            bytes(output),
+            breakdown,
+            counters,
+            threads,
+            ranged=use_ranged,
+            pipeline=pipeline,
+            setup_seconds=setup_seconds,
+            read_seconds=read_seconds,
+            record_reads=record_reads,
+            record_cpu=record_cpu,
+            demand_seconds=demand_seconds,
+        )
 
     # ------------------------------------------------------------------
+    def _execute_planned_read(
+        self,
+        plan: RestorePlan,
+        planned: PlannedRead,
+        cache: FullVisionCache,
+        containers_seen: set[int],
+        breakdown: TimeBreakdown,
+        counters: Counters,
+    ) -> float | None:
+        """Issue one scheduled container read; returns its duration.
+
+        Returns None (nothing read, nothing charged) when a whole-mode
+        plan references a container that no longer exists — the demand
+        path then redirects through the global index, as the seed did.
+        """
+        cid = planned.container_id
+        if not self.storage.containers.exists(cid):
+            return None
+        with self.storage.meter_reads() as meter:
+            if planned.spans is None:
+                payload = self.storage.containers.read_data(cid)
+                meta = self.storage.containers.read_meta(cid, piggyback=True)
+                cache.insert_container(meta, payload)
+                counters.add("container_bytes_read", len(payload))
+            else:
+                spans = [(span.offset, span.length) for span in planned.spans]
+                payloads = [
+                    data for _, data in self.storage.containers.read_spans(cid, spans)
+                ]
+                self._insert_span_chunks(plan.metas[cid], planned, payloads, cache)
+                counters.add("container_bytes_read", planned.planned_bytes)
+                counters.add("ranged_reads", len(spans))
+                counters.add("ranged_bytes_saved", planned.bytes_saved)
+        seconds = meter.seconds
+        breakdown.charge("download", seconds)
+        counters.add("containers_read")
+        if cid in containers_seen:
+            counters.add("repeated_container_reads")
+        containers_seen.add(cid)
+        return seconds
+
+    @staticmethod
+    def _insert_span_chunks(
+        meta, planned: PlannedRead, payloads: list[bytes], cache: FullVisionCache
+    ) -> None:
+        """Cache every chunk fully covered by the fetched spans."""
+        spans = planned.spans
+        starts = [span.offset for span in spans]
+        for entry in meta.live_lookup_entries():
+            position = bisect_right(starts, entry.offset) - 1
+            if position < 0:
+                continue
+            span = spans[position]
+            if entry.offset + entry.size > span.end:
+                continue
+            base = entry.offset - span.offset
+            cache.insert_chunk(entry.fp, payloads[position][base : base + entry.size])
+
+    def _demand_fetch(
+        self,
+        record: ChunkRecord,
+        container_just_read: bool,
+        cache: FullVisionCache,
+        containers_seen: set[int],
+        breakdown: TimeBreakdown,
+        counters: Counters,
+    ) -> tuple[bytes, float]:
+        """Synchronous fallback when the planned read did not yield the chunk.
+
+        Covers two cases: the chunk moved out of its recorded container
+        (whole mode discovers redirects here) and a previously read chunk
+        was evicted from both cache layers (a repeated container read).
+        Returns the payload and the virtual seconds the consumer blocked.
+        """
+        redirects_before = counters.get("global_index_redirects")
+        with self.storage.meter_reads() as meter:
+            if container_just_read:
+                # The planned read just completed and the chunk was not in
+                # it: go straight to the global index instead of re-reading.
+                data = self._redirect(record, cache, containers_seen, breakdown, counters)
+            else:
+                data = self._fetch_for(record, cache, containers_seen, breakdown, counters)
+        demand = meter.seconds + self.cost_model.cpu_index_query * (
+            counters.get("global_index_redirects") - redirects_before
+        )
+        return data, demand
+
     def _fetch_for(
         self,
         record: ChunkRecord,
@@ -163,14 +343,26 @@ class RestoreEngine:
         )
         if data is not None:
             return data
+        return self._redirect(record, cache, containers_seen, breakdown, counters)
 
-        # The chunk is gone from its recorded container: reverse dedup or
-        # SCC moved it.  The global index knows the current owner.
+    def _redirect(
+        self,
+        record: ChunkRecord,
+        cache: FullVisionCache,
+        containers_seen: set[int],
+        breakdown: TimeBreakdown,
+        counters: Counters,
+    ) -> bytes:
+        """Locate a moved chunk through the global index and read it.
+
+        The chunk is gone from its recorded container: reverse dedup or
+        SCC moved it.  The global index knows the current owner.
+        """
         counters.add("global_index_redirects")
         breakdown.charge("index_query", self.cost_model.cpu_index_query)
-        before = self.storage.oss.stats.snapshot()
-        owner = self.storage.global_index.lookup(record.fp)
-        breakdown.charge("download", self.storage.oss.stats.diff(before).read_seconds)
+        with self.storage.meter_reads() as meter:
+            owner = self.storage.global_index.lookup(record.fp)
+        breakdown.charge("download", meter.seconds)
         if owner is None:
             raise RestoreError(
                 f"chunk {record.fp.hex()[:12]} missing from container "
@@ -198,10 +390,10 @@ class RestoreEngine:
         """Whole-container read; inserts useful chunks into the cache."""
         if not self.storage.containers.exists(container_id):
             return None
-        before = self.storage.oss.stats.snapshot()
-        payload = self.storage.containers.read_data(container_id)
-        meta = self.storage.containers.read_meta(container_id, piggyback=True)
-        breakdown.charge("download", self.storage.oss.stats.diff(before).read_seconds)
+        with self.storage.meter_reads() as meter:
+            payload = self.storage.containers.read_data(container_id)
+            meta = self.storage.containers.read_meta(container_id, piggyback=True)
+        breakdown.charge("download", meter.seconds)
         counters.add("containers_read")
         counters.add("container_bytes_read", len(payload))
         if container_id in containers_seen:

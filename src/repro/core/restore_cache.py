@@ -13,11 +13,18 @@ Three chunk statuses drive the replacement policy:
 Because eviction only ever discards ``S_U`` chunks, every container is read
 from OSS at most once — the property the paper's Fig 8 relies on ("make
 sure all containers only be read once").
+
+The cache keeps its memory layer in two status buckets (``S_I`` and
+``S_L``) that the :class:`LookAheadWindow` maintains through transition
+callbacks as it slides, so eviction pops victims directly from the right
+bucket instead of re-deriving ``status_of`` for every resident chunk on
+every eviction.
 """
 
 from __future__ import annotations
 
-from collections import Counter, OrderedDict
+from collections import Counter, OrderedDict, deque
+from collections.abc import Callable
 
 from repro.core.container import ContainerMeta
 from repro.core.recipe import ChunkRecord
@@ -31,7 +38,15 @@ STATUS_USELESS = "S_U"
 
 
 class LookAheadWindow:
-    """A sliding window over the recipe's chunk-record sequence."""
+    """A sliding window over the recipe's chunk-record sequence.
+
+    Alongside per-fingerprint counts the window maintains the positions of
+    each container id currently inside it, updated incrementally as it
+    slides, so :meth:`upcoming_container_ids` costs O(distinct containers)
+    instead of rescanning the whole window.  Optional ``on_enter`` /
+    ``on_exit`` callbacks fire when a fingerprint's window membership flips,
+    letting the cache keep its status buckets current without polling.
+    """
 
     def __init__(self, records: list[ChunkRecord], window: int) -> None:
         if window < 1:
@@ -42,17 +57,40 @@ class LookAheadWindow:
         self._counts: Counter[bytes] = Counter(
             record.fp for record in records[:window]
         )
+        self._container_positions: dict[int, deque[int]] = {}
+        for index, record in enumerate(records[:window]):
+            self._container_positions.setdefault(record.container_id, deque()).append(
+                index
+            )
+        #: Fired with a fingerprint when it enters / leaves the window.
+        self.on_enter: Callable[[bytes], None] | None = None
+        self.on_exit: Callable[[bytes], None] | None = None
 
     def advance_past(self, index: int) -> None:
         """Slide so the window covers ``[index+1, index+1+window)``."""
         while self._position <= index:
+            # Enter before exit: a fingerprint that leaves one position and
+            # re-enters at another in the same slide never flips membership,
+            # so the cache is spared a demote-then-repromote round trip.
+            entering_index = self._position + self._window
+            if entering_index < len(self._records):
+                entering = self._records[entering_index]
+                self._counts[entering.fp] += 1
+                self._container_positions.setdefault(
+                    entering.container_id, deque()
+                ).append(entering_index)
+                if self._counts[entering.fp] == 1 and self.on_enter is not None:
+                    self.on_enter(entering.fp)
             leaving = self._records[self._position]
             self._counts[leaving.fp] -= 1
             if self._counts[leaving.fp] == 0:
                 del self._counts[leaving.fp]
-            entering_index = self._position + self._window
-            if entering_index < len(self._records):
-                self._counts[self._records[entering_index].fp] += 1
+                if self.on_exit is not None:
+                    self.on_exit(leaving.fp)
+            positions = self._container_positions[leaving.container_id]
+            positions.popleft()
+            if not positions:
+                del self._container_positions[leaving.container_id]
             self._position += 1
 
     def __contains__(self, fp: bytes) -> bool:
@@ -60,11 +98,9 @@ class LookAheadWindow:
 
     def upcoming_container_ids(self) -> list[int]:
         """Distinct container ids referenced inside the window, in order."""
-        seen: list[int] = []
-        for record in self._records[self._position : self._position + self._window]:
-            if record.container_id not in seen:
-                seen.append(record.container_id)
-        return seen
+        return sorted(
+            self._container_positions, key=lambda cid: self._container_positions[cid][0]
+        )
 
 
 class FullVisionCache:
@@ -79,7 +115,9 @@ class FullVisionCache:
     ) -> None:
         if memory_bytes <= 0:
             raise ValueError("memory cache must have positive capacity")
-        self._memory: OrderedDict[bytes, bytes] = OrderedDict()
+        #: Memory layer, bucketed by status so eviction never scans.
+        self._mem_window: OrderedDict[bytes, bytes] = OrderedDict()
+        self._mem_later: OrderedDict[bytes, bytes] = OrderedDict()
         self._disk: OrderedDict[bytes, bytes] = OrderedDict()
         self._memory_capacity = memory_bytes
         self._disk_capacity = disk_bytes
@@ -87,6 +125,8 @@ class FullVisionCache:
         self._disk_used = 0
         self._cbf = cbf
         self._law = law
+        law.on_enter = self._fp_entered_window
+        law.on_exit = self._fp_left_window
         self.counters = Counters()
 
     # --- status ------------------------------------------------------------
@@ -98,10 +138,30 @@ class FullVisionCache:
             return STATUS_LATER
         return STATUS_USELESS
 
+    # --- LAW transition hooks ----------------------------------------------
+    def _fp_entered_window(self, fp: bytes) -> None:
+        """A resident ``S_L`` chunk just became ``S_I``: pin it."""
+        data = self._mem_later.pop(fp, None)
+        if data is not None:
+            self._mem_window[fp] = data
+
+    def _fp_left_window(self, fp: bytes) -> None:
+        """A chunk left the window: demote to ``S_L`` or drop as ``S_U``."""
+        data = self._mem_window.pop(fp, None)
+        if data is None:
+            return
+        if self._cbf.count(fp) > 0:
+            self._mem_later[fp] = data
+        else:
+            self._memory_used -= len(data)
+            self.counters.add("evicted_useless")
+
     # --- lookup / consume -----------------------------------------------------
     def lookup(self, fp: bytes) -> bytes | None:
         """Chunk payload if cached (promoting disk-resident chunks)."""
-        data = self._memory.get(fp)
+        data = self._mem_window.get(fp)
+        if data is None:
+            data = self._mem_later.get(fp)
         if data is not None:
             self.counters.add("memory_hits")
             return data
@@ -114,6 +174,14 @@ class FullVisionCache:
         self.counters.add("cache_misses")
         return None
 
+    def peek(self, fp: bytes) -> bytes | None:
+        """Chunk payload from any layer, without counters or promotion."""
+        return (
+            self._mem_window.get(fp)
+            or self._mem_later.get(fp)
+            or self._disk.get(fp)
+        )
+
     def consume(self, fp: bytes) -> None:
         """One reference to ``fp`` was restored: decrement its CBF count."""
         try:
@@ -125,7 +193,9 @@ class FullVisionCache:
             self._drop(fp)
 
     def _drop(self, fp: bytes) -> None:
-        data = self._memory.pop(fp, None)
+        data = self._mem_window.pop(fp, None)
+        if data is None:
+            data = self._mem_later.pop(fp, None)
         if data is not None:
             self._memory_used -= len(data)
         data = self._disk.pop(fp, None)
@@ -133,6 +203,30 @@ class FullVisionCache:
             self._disk_used -= len(data)
 
     # --- container insertion -----------------------------------------------------
+    def insert_chunk(self, fp: bytes, data: bytes) -> bool:
+        """Cache one freshly read chunk if its status makes it useful.
+
+        A chunk already sitting in the L-node disk layer whose status is
+        ``S_I`` (needed within the window) is promoted to memory here, at
+        insert time, instead of paying a ``disk_promotions`` round trip
+        when the consumer reaches it.
+        """
+        if fp in self._mem_window or fp in self._mem_later:
+            return False
+        status = self.status_of(fp)
+        if fp in self._disk:
+            if status != STATUS_IN_WINDOW:
+                return False
+            stored = self._disk.pop(fp)
+            self._disk_used -= len(stored)
+            self.counters.add("insert_promotions")
+            self._insert_memory(fp, stored)
+            return True
+        if status == STATUS_USELESS:
+            return False
+        self._insert_memory(fp, data)
+        return True
+
     def insert_container(self, meta: ContainerMeta, payload: bytes) -> int:
         """Cache the useful chunks of a freshly read container.
 
@@ -142,46 +236,42 @@ class FullVisionCache:
         """
         inserted = 0
         for entry in meta.entries:
-            if entry.deleted or entry.fp in self._memory or entry.fp in self._disk:
+            if entry.deleted:
                 continue
-            status = self.status_of(entry.fp)
-            if status == STATUS_USELESS:
-                continue
-            data = payload[entry.offset : entry.offset + entry.size]
-            self._insert_memory(entry.fp, data)
-            inserted += 1
+            if self.insert_chunk(
+                entry.fp, payload[entry.offset : entry.offset + entry.size]
+            ):
+                inserted += 1
         return inserted
 
     # --- internal space management ---------------------------------------------------
     def _insert_memory(self, fp: bytes, data: bytes) -> None:
         self._make_room(len(data))
-        self._memory[fp] = data
+        if self.status_of(fp) == STATUS_IN_WINDOW:
+            self._mem_window[fp] = data
+        else:
+            self._mem_later[fp] = data
         self._memory_used += len(data)
 
     def _make_room(self, needed: int) -> None:
-        if self._memory_used + needed <= self._memory_capacity:
-            return
-        # Pass 1: discard useless chunks (S_U).
-        for fp in list(self._memory):
-            if self._memory_used + needed <= self._memory_capacity:
-                return
+        # Victims come straight off the status buckets (oldest first):
+        # no per-resident status probing.  S_L chunks demote to the disk
+        # layer; stragglers that turned useless since insertion (CBF
+        # collisions) are dropped outright.
+        while (
+            self._memory_used + needed > self._memory_capacity and self._mem_later
+        ):
+            fp, data = self._mem_later.popitem(last=False)
+            self._memory_used -= len(data)
             if self.status_of(fp) == STATUS_USELESS:
-                data = self._memory.pop(fp)
-                self._memory_used -= len(data)
                 self.counters.add("evicted_useless")
-        # Pass 2: demote S_L chunks to the disk layer, oldest first.
-        for fp in list(self._memory):
-            if self._memory_used + needed <= self._memory_capacity:
-                return
-            if self.status_of(fp) == STATUS_LATER:
-                data = self._memory.pop(fp)
-                self._memory_used -= len(data)
+            else:
                 self._demote_to_disk(fp, data)
-        # Pass 3 (extreme): even in-window chunks must go to disk.
-        for fp in list(self._memory):
-            if self._memory_used + needed <= self._memory_capacity:
-                return
-            data = self._memory.pop(fp)
+        # Extreme pressure: even in-window chunks must go to disk.
+        while (
+            self._memory_used + needed > self._memory_capacity and self._mem_window
+        ):
+            fp, data = self._mem_window.popitem(last=False)
             self._memory_used -= len(data)
             self._demote_to_disk(fp, data)
             self.counters.add("evicted_in_window")

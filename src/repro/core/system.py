@@ -321,6 +321,7 @@ class SlimStore:
         version: int | None = None,
         prefetch_threads: int | None = None,
         verify: bool | None = None,
+        ranged: bool | None = None,
     ) -> RestoreResult:
         """Restore a backup version (latest when ``version`` is None)."""
         if version is None:
@@ -329,7 +330,7 @@ class SlimStore:
                 raise VersionNotFoundError(path)
             version = live[-1]
         node = self._pick_lnode()
-        return node.restore(path, version, prefetch_threads, verify)
+        return node.restore(path, version, prefetch_threads, verify, ranged)
 
     def versions(self, path: str) -> list[int]:
         """Live backup versions of ``path``."""

@@ -205,6 +205,36 @@ class ObjectStorageService:
         self._charge_read(length, channels, extra=extra)
         return chunk
 
+    def get_ranges(
+        self, bucket: str, key: str, spans: list[tuple[int, int]], channels: int = 1
+    ) -> list[bytes]:
+        """Several ranged GETs against one object, issued back-to-back.
+
+        Each span ``(offset, length)`` is its own request (OSS serves one
+        byte range per GET) and charges its own round-trip latency plus
+        bandwidth — coalescing adjacent chunk extents *before* calling
+        this is what makes ranged restore reads cheaper than one GET per
+        chunk.  Returns the span payloads in call order.
+        """
+        backend = self._backend(bucket)
+        results: list[bytes] = []
+        for offset, length in spans:
+            extra = self._fault_gate("get", bucket, key)
+            data = backend.get(key)
+            if data is None:
+                raise ObjectNotFoundError(bucket, key)
+            if offset < 0 or length < 0 or offset + length > len(data):
+                raise ValueError(
+                    f"range [{offset}, {offset + length}) outside object of "
+                    f"{len(data)} bytes: oss://{bucket}/{key}"
+                )
+            chunk = data[offset : offset + length]
+            if self.faults is not None:
+                chunk = self._filter_read(chunk)
+            self._charge_read(length, channels, extra=extra)
+            results.append(chunk)
+        return results
+
     def delete_object(self, bucket: str, key: str) -> bool:
         """Delete ``key``; returns True if it existed."""
         backend = self._backend(bucket)

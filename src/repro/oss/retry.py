@@ -101,6 +101,15 @@ class RetryingObjectStore:
             "get", lambda: self._oss.get_range(bucket, key, offset, length, channels)
         )
 
+    def get_ranges(
+        self, bucket: str, key: str, spans: list[tuple[int, int]], channels: int = 1
+    ) -> list[bytes]:
+        """Retrying multi-span ranged GET (each span retried on its own)."""
+        return [
+            self.get_range(bucket, key, offset, length, channels)
+            for offset, length in spans
+        ]
+
     def delete_object(self, bucket: str, key: str) -> bool:
         """Retrying DELETE."""
         return self._call("delete", lambda: self._oss.delete_object(bucket, key))

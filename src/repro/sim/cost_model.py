@@ -99,6 +99,10 @@ class CostModel:
     #: bandwidth limitations, each L-node can execute up to eight restore
     #: jobs at the same time").
     node_restore_slots: int = 8
+    #: OSS read channels one node can drive concurrently before its NIC
+    #: saturates (625 MiB/s NIC / 40 MiB/s per channel ~= 16): the shared
+    #: pool that concurrent restore jobs' prefetchers contend for.
+    node_oss_channels: int = 16
 
     # --- Derived helpers ----------------------------------------------------
     def chunking_cost(self, algorithm: str, nbytes: int) -> float:

@@ -47,6 +47,28 @@ def parallel_channel_time(
     return nbytes / bandwidth
 
 
+def prefetched_restore_time(
+    cpu_seconds: float, download_seconds: float, threads: int
+) -> float:
+    """Closed-form restore duration under LAW prefetching (Table II).
+
+    With ``threads`` parallel OSS channels the download fully overlaps the
+    restore CPU, so the slower side wins; with 0 threads every read blocks
+    the pipeline and the stages serialise.  The event-driven pipeline in
+    :func:`repro.sim.events.simulate_restore_pipeline` replaces this
+    formula for reported numbers; this stays as the cross-check the two
+    models are validated against (startup and tail effects make the event
+    schedule approach this bound from above as the read count grows).
+    """
+    if cpu_seconds < 0 or download_seconds < 0:
+        raise ValueError("durations must be non-negative")
+    if threads < 0:
+        raise ValueError(f"threads cannot be negative: {threads}")
+    if threads == 0:
+        return cpu_seconds + download_seconds
+    return max(cpu_seconds, download_seconds / threads)
+
+
 def batched_round_trips(keys: int, batch_size: int) -> int:
     """Index round trips needed to answer ``keys`` lookups in batches.
 

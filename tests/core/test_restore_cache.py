@@ -173,3 +173,103 @@ class TestEvictionPolicy:
         law = LookAheadWindow(records, 1)
         with pytest.raises(ValueError):
             FullVisionCache(0, 100, cbf, law)
+
+
+class TestIncrementalContainerOrdering:
+    """upcoming_container_ids is maintained as the window slides, not
+    recomputed by scanning the window."""
+
+    def test_order_tracks_window_position(self):
+        records = records_for(["a", "b", "c", "d", "e"])
+        for index, cid in enumerate([7, 3, 7, 9, 3]):
+            records[index].container_id = cid
+        law = LookAheadWindow(records, window=3)
+        assert law.upcoming_container_ids() == [7, 3]
+        law.advance_past(0)  # window: b, c, d
+        assert law.upcoming_container_ids() == [3, 7, 9]
+        law.advance_past(1)  # window: c, d, e
+        assert law.upcoming_container_ids() == [7, 9, 3]
+        law.advance_past(3)  # window: e
+        assert law.upcoming_container_ids() == [3]
+
+    def test_matches_brute_force_on_long_stream(self):
+        import random
+
+        rand = random.Random(7)
+        records = records_for([f"chunk-{i}" for i in range(200)])
+        for record in records:
+            record.container_id = rand.randrange(12)
+        window = 16
+        law = LookAheadWindow(records, window)
+        for index in range(len(records)):
+            lo, hi = index, min(len(records), index + window)
+            expected, seen = [], set()
+            for record in records[lo:hi]:
+                if record.container_id not in seen:
+                    seen.add(record.container_id)
+                    expected.append(record.container_id)
+            assert law.upcoming_container_ids() == expected, index
+            law.advance_past(index)
+
+
+class TestWindowTransitions:
+    def test_enter_exit_callbacks_fire_once_per_transition(self):
+        records = records_for(["a", "b", "a", "c"])
+        law = LookAheadWindow(records, window=2)
+        entered, exited = [], []
+        law.on_enter = entered.append
+        law.on_exit = exited.append
+        law.advance_past(0)  # window [1, 3): a's count moves from pos 0 to 2
+        assert exited == []  # a never left — no spurious transition
+        law.advance_past(1)  # window [2, 4): b left, c entered
+        assert fp_of("b") in exited
+        assert fp_of("c") in entered
+
+    def test_useless_chunk_dropped_at_window_exit(self):
+        _, law, cache = build_cache(["a", "b", "c"], window=1)
+        meta, payload = container_with({"a": b"A" * 100})
+        cache.insert_container(meta, payload)
+        cache.consume(fp_of("a"))
+        assert cache.memory_used == 100  # still S_I until the window moves
+        law.advance_past(0)
+        # a left the window with a zero CBF count: dropped eagerly.
+        assert cache.memory_used == 0
+        assert cache.peek(fp_of("a")) is None
+
+    def test_later_chunk_kept_at_window_exit(self):
+        _, law, cache = build_cache(["a", "b", "a"], window=1)
+        meta, payload = container_with({"a": b"A" * 100})
+        cache.insert_container(meta, payload)
+        cache.consume(fp_of("a"))
+        law.advance_past(0)
+        # Another reference at position 2: demoted to S_L, not dropped.
+        assert cache.status_of(fp_of("a")) == STATUS_LATER
+        assert cache.peek(fp_of("a")) == b"A" * 100
+
+
+class TestInsertPromotion:
+    def test_disk_resident_window_chunk_promoted_at_insert(self):
+        """An S_I chunk sitting on disk is promoted when its container is
+        read, not left to pay a disk round trip at consume time."""
+        sequence = [chr(ord("a") + i) for i in range(10)]
+        _, _, cache = build_cache(sequence, window=10, memory=250, disk=10_000)
+        meta, payload = container_with(
+            {name: name.encode() * 100 for name in sequence}
+        )
+        # First insertion overflows memory: later chunks land on disk.
+        cache.insert_container(meta, payload)
+        assert cache.disk_used > 0
+        # Re-inserting the container (a repeated read in a bigger run)
+        # promotes disk-resident in-window chunks back to memory.
+        cache.insert_container(meta, payload)
+        assert cache.counters.get("insert_promotions") >= 1
+        assert cache.counters.get("disk_promotions") == 0
+
+    def test_peek_never_counts_or_promotes(self):
+        _, _, cache = build_cache(["a"], window=1)
+        meta, payload = container_with({"a": b"A" * 100})
+        cache.insert_container(meta, payload)
+        assert cache.peek(fp_of("a")) == b"A" * 100
+        assert cache.peek(fp_of("zz")) is None
+        assert cache.counters.get("memory_hits") == 0
+        assert cache.counters.get("cache_misses") == 0
