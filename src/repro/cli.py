@@ -12,6 +12,8 @@ Usage::
     python -m repro delete  REPO PATH VERSION
     python -m repro space   REPO
     python -m repro index   REPO
+    python -m repro scrub   REPO [--repair]
+    python -m repro fsck    REPO [--repair]
 
 Example::
 
@@ -74,9 +76,15 @@ def _resolve_shard_count(root: Path, requested: int | None) -> int:
 
 
 def open_repository(
-    repo_dir: str | Path, index_shards: int | None = None
+    repo_dir: str | Path,
+    index_shards: int | None = None,
+    run_recovery: bool = True,
 ) -> SlimStore:
-    """Open (or create) a durable repository under ``repo_dir``."""
+    """Open (or create) a durable repository under ``repo_dir``.
+
+    ``run_recovery=False`` attaches without resolving interrupted jobs,
+    so ``repro fsck`` can report the evidence before anything is fixed.
+    """
     root = Path(repo_dir)
     root.mkdir(parents=True, exist_ok=True)
     shard_count = _resolve_shard_count(root, index_shards)
@@ -85,7 +93,7 @@ def open_repository(
     )
     config = replace(SlimStoreConfig(), index_shard_count=shard_count)
     store = SlimStore(config, oss)
-    store.recover()
+    store.recover(run_recovery=run_recovery)
     return store
 
 
@@ -185,6 +193,54 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    store = open_repository(args.repo, run_recovery=False)
+    from repro.core.recovery import RecoveryManager
+
+    manager = RecoveryManager(store)
+    report = manager.inspect()
+    for intent in report.open_intents:
+        print(f"  OPEN intent #{intent.seq}: {intent.kind} {intent.payload}",
+              file=sys.stderr)
+    for cid, half in sorted(report.torn_pairs.items()):
+        print(f"  TORN container {cid}: only .{half} survives", file=sys.stderr)
+    for cid in report.partial_reaps:
+        print(f"  PARTIAL REAP container {cid}", file=sys.stderr)
+    for cid in report.orphan_candidates:
+        print(f"  ORPHAN container {cid}", file=sys.stderr)
+    print(
+        f"journal: {len(report.open_intents)} open intents; "
+        f"containers: {len(report.torn_pairs)} torn, "
+        f"{len(report.orphan_candidates)} orphaned, "
+        f"{len(report.partial_reaps)} partial reaps, "
+        f"{len(report.tombstoned)} in tombstone grace; "
+        f"index: {report.dangling_index_entries} dangling entries"
+    )
+    if report.clean:
+        print("repository is consistent")
+        return 0
+    if not args.repair:
+        print("run with --repair to recover", file=sys.stderr)
+        return 1
+    recovery = manager.run(report.open_intents)
+    print(
+        f"repair: {len(recovery.rolled_forward)} intents rolled forward, "
+        f"{len(recovery.discarded)} discarded, "
+        f"{len(recovery.orphans_collected)} orphans collected "
+        f"({recovery.orphan_bytes} bytes), "
+        f"{len(recovery.torn_collected)} torn pairs collected, "
+        f"{len(recovery.reaps_finished)} reaps finished, "
+        f"{recovery.index_entries_fixed} index entries fixed"
+    )
+    if recovery.torn_damaged:
+        for cid in recovery.torn_damaged:
+            print(f"  DAMAGED container {cid}: referenced but torn",
+                  file=sys.stderr)
+        return 1
+    print("repository recovered")
+    return 0
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     store = open_repository(args.repo)
     index = store.storage.global_index
@@ -262,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
     scrub.add_argument("--repair", action="store_true",
                        help="heal corrupt chunks from healthy copies")
     scrub.set_defaults(handler=_cmd_scrub)
+
+    fsck = commands.add_parser(
+        "fsck", help="check crash consistency (journal, orphans, tombstones)"
+    )
+    fsck.add_argument("repo")
+    fsck.add_argument("--repair", action="store_true",
+                      help="roll interrupted jobs forward/back and GC debris")
+    fsck.set_defaults(handler=_cmd_fsck)
     return parser
 
 

@@ -12,6 +12,8 @@ from repro.core.recipe import ChunkRecord, Recipe, RecipeIndex, RecipeStore
 from repro.core.similar_index import SimilarFileIndex
 from repro.core.global_index import GlobalIndex
 from repro.core.dedup import BackupEngine, BackupResult
+from repro.core.journal import Intent, IntentJournal
+from repro.core.recovery import FsckReport, RecoveryManager, RecoveryReport
 from repro.core.restore import RestoreEngine, RestoreResult
 from repro.core.lnode import LNode
 from repro.core.gnode import GNode
@@ -34,6 +36,11 @@ __all__ = [
     "GlobalIndex",
     "BackupEngine",
     "BackupResult",
+    "Intent",
+    "IntentJournal",
+    "FsckReport",
+    "RecoveryManager",
+    "RecoveryReport",
     "RestoreEngine",
     "RestoreResult",
     "LNode",

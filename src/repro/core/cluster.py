@@ -175,6 +175,13 @@ class ClusterRunReport:
     prefetch_stall_seconds: float = 0.0
     #: Busy seconds of each node's OSS channels (restore schedules only).
     node_channel_busy_seconds: list[list[float]] = field(default_factory=list)
+    #: Node deaths simulated during the schedule (``crashes`` argument).
+    crashes_simulated: int = 0
+    #: Virtual seconds of partial work thrown away by crashed jobs (the
+    #: uncommitted writes recovery garbage-collects).
+    wasted_seconds: float = 0.0
+    #: Virtual seconds replacement nodes spent in attach-time recovery.
+    recovery_seconds_total: float = 0.0
 
     @property
     def aggregate_throughput_mb_s(self) -> float:
@@ -215,8 +222,33 @@ class ClusterSimulator:
         """Virtual duration of one batched index round trip."""
         return self.model.oss_request_latency + keys * self.model.cpu_index_query
 
-    def run(self, jobs: list[JobSpec]) -> ClusterRunReport:
-        """Dispatch all jobs at time zero; returns the schedule outcome."""
+    def run(
+        self,
+        jobs: list[JobSpec],
+        crashes: dict[int, float] | None = None,
+        recovery_seconds: float | None = None,
+    ) -> ClusterRunReport:
+        """Dispatch all jobs at time zero; returns the schedule outcome.
+
+        ``crashes`` maps job index → fraction of the job's main phase at
+        which its node dies.  The partial work is wasted (the commit
+        never landed, so recovery discards it), a replacement node spends
+        ``recovery_seconds`` in attach-time recovery (journal scan,
+        intent resolution, orphan GC — defaulting to three OSS request
+        round trips: list, read, truncate), and the job then re-runs in
+        full.  This quantifies what the crash-consistency layer costs at
+        cluster scale: a crash adds latency, never inconsistency.
+        """
+        crashes = dict(crashes or {})
+        for index, fraction in crashes.items():
+            if not 0 <= index < len(jobs):
+                raise ValueError(f"crash index {index} outside job list")
+            if not 0.0 < fraction < 1.0:
+                raise ValueError(
+                    f"crash fraction must be in (0, 1): {fraction}"
+                )
+        if recovery_seconds is None:
+            recovery_seconds = 3 * self.model.oss_request_latency
         loop = EventLoop()
         nodes = [
             SlotResource(loop, self.slots_per_node) for _ in range(self.lnode_count)
@@ -270,7 +302,9 @@ class ClusterSimulator:
             for shard, batches in chains:
                 drain_shard(shard, batches, chain_finished)
 
-        def dispatch(job: JobSpec, node: SlotResource) -> None:
+        def dispatch(
+            job: JobSpec, node: SlotResource, crash_fraction: float | None = None
+        ) -> None:
             def start() -> None:
                 # NIC share: jobs concurrently active on this node split
                 # its bandwidth; a job's share is fixed at start time
@@ -280,6 +314,25 @@ class ClusterSimulator:
                 bandwidth = self.model.node_nic_bandwidth / concurrent
                 network_seconds = job.network_bytes / bandwidth
                 duration = max(job.cpu_seconds, network_seconds)
+
+                if crash_fraction is not None:
+                    wasted = duration * crash_fraction
+
+                    def crashed() -> None:
+                        report.crashes_simulated += 1
+                        report.wasted_seconds += wasted
+                        report.recovery_seconds_total += recovery_seconds
+
+                        def recovered() -> None:
+                            # The replacement node retries the whole job:
+                            # nothing committed, so nothing is resumable.
+                            node.release()
+                            dispatch(job, node)
+
+                        loop.schedule(recovery_seconds, recovered)
+
+                    loop.schedule(wasted, crashed)
+                    return
 
                 def finish() -> None:
                     report.completion_times.append(loop.now)
@@ -297,7 +350,7 @@ class ClusterSimulator:
 
         # Round-robin placement, as the facade's scheduler does.
         for index, job in enumerate(jobs):
-            dispatch(job, nodes[index % len(nodes)])
+            dispatch(job, nodes[index % len(nodes)], crashes.get(index))
 
         report.makespan_seconds = loop.run()
         return report

@@ -92,6 +92,12 @@ class SlimStoreConfig:
     gdedup_meta_cache: bool = True
     #: Expected chunk population for the global Bloom filter.
     global_bloom_capacity: int = 1 << 20
+    #: Deletion epochs a collected container stays readable behind its
+    #: tombstone before deep_clean reaps it (two-phase deletion).  0
+    #: deletes immediately — the behaviour every space figure assumes —
+    #: while a positive grace shields restores planned against
+    #: pre-maintenance metadata from ObjectNotFoundError mid-read.
+    tombstone_grace_epochs: int = 0
 
     # --- global index sharding & batching -------------------------------------
     #: Independent global-index shards (LSM stores keyed by fp prefix).
@@ -132,6 +138,10 @@ class SlimStoreConfig:
             raise ValueError(f"index_shard_count must be >= 1: {self.index_shard_count}")
         if self.index_batch_size < 1:
             raise ValueError(f"index_batch_size must be >= 1: {self.index_batch_size}")
+        if self.tombstone_grace_epochs < 0:
+            raise ValueError(
+                f"tombstone_grace_epochs cannot be negative: {self.tombstone_grace_epochs}"
+            )
 
     # --- derived views ---------------------------------------------------------------
     def effective_sample_ratio(self) -> int:

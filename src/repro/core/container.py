@@ -15,12 +15,18 @@ the rewrite threshold (Section VI-A).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import struct
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ContainerError, ObjectNotFoundError
 from repro.fingerprint.hashing import FP_SIZE
 from repro.oss.object_store import ObjectStorageService
+
+if TYPE_CHECKING:
+    from repro.core.journal import IntentJournal
 
 _META_HEADER = struct.Struct(">QI")          # container id, entry count
 _META_ENTRY = struct.Struct(">20sQIB")       # fp, offset, size, flags
@@ -105,6 +111,19 @@ class ContainerMeta:
         if entry is None or entry.deleted:
             return False
         entry.deleted = True
+        return True
+
+    def revive(self, fp: bytes) -> bool:
+        """Un-mark a deleted chunk; True if it was deleted.
+
+        Crash recovery uses this to resurrect a copy that was marked
+        deleted in favour of a replacement that never became durable —
+        the bytes are still in the payload, only the flag flips back.
+        """
+        entry = self._by_fp.get(fp)
+        if entry is None or not entry.deleted:
+            return False
+        entry.deleted = False
         return True
 
     def live_lookup_entries(self) -> list[ChunkLocation]:
@@ -192,12 +211,34 @@ class ContainerStore:
 
     DATA_KEY = "containers/{cid:012d}.data"
     META_KEY = "containers/{cid:012d}.meta"
+    #: Two-phase deletion marker: the container's objects stay readable
+    #: until the tombstone's grace epochs expire (reaped by deep_clean).
+    TOMB_KEY = "containers/{cid:012d}.tomb"
+    #: The repository-wide deletion epoch (advanced by deep_clean).
+    EPOCH_KEY = "containers/epoch"
 
-    def __init__(self, oss: ObjectStorageService, bucket: str = "slimstore") -> None:
+    def __init__(
+        self,
+        oss: ObjectStorageService,
+        bucket: str = "slimstore",
+        journal: "IntentJournal | None" = None,
+        grace_epochs: int = 0,
+    ) -> None:
         self._oss = oss
         self._bucket = bucket
         self._next_id = 0
         self._live_ids: set[int] = set()
+        self.journal = journal
+        #: Grace epochs a tombstoned container stays readable; 0 means
+        #: deletion is immediate (the pre-tombstone behaviour).
+        self.grace_epochs = grace_epochs
+        self._epoch = 0
+        self._tombstoned: dict[int, int] = {}
+        #: Torn pairs found by :meth:`recover`: cid → the surviving half
+        #: ("data" or "meta").  Quarantined — never resurrected as live.
+        self.torn_pairs: dict[int, str] = {}
+        #: Tombstoned containers whose reap was interrupted mid-delete.
+        self.partial_reaps: set[int] = set()
         oss.create_bucket(bucket)
 
     @property
@@ -208,18 +249,48 @@ class ContainerStore:
     def recover(self) -> int:
         """Rebuild live-id tracking from OSS; returns the container count.
 
-        Used when attaching to an existing repository: container data
-        objects are the source of truth.
+        Used when attaching to an existing repository: a container is
+        live only when *both* its objects exist and it carries no
+        tombstone.  A ``.data`` without its ``.meta`` (or vice versa) is
+        a torn pair from an interrupted write or deletion: it is
+        quarantined in :attr:`torn_pairs` — reported, excluded from the
+        live set, and left for recovery to collect — instead of being
+        silently resurrected as a half-written container.
         """
         self._live_ids.clear()
-        highest = -1
+        self.torn_pairs.clear()
+        self.partial_reaps.clear()
+        self._tombstoned.clear()
+        data_ids: set[int] = set()
+        meta_ids: set[int] = set()
+        tomb_ids: set[int] = set()
         for key in self._oss.peek_keys(self._bucket, "containers/"):
-            if not key.endswith(".data"):
-                continue
-            cid = int(key[len("containers/") : -len(".data")])
-            self._live_ids.add(cid)
-            highest = max(highest, cid)
+            stem = key[len("containers/"):]
+            cid_text, _, suffix = stem.rpartition(".")
+            if suffix not in ("data", "meta", "tomb") or not cid_text.isdigit():
+                continue  # e.g. the epoch object, or foreign keys
+            cid = int(cid_text)
+            {"data": data_ids, "meta": meta_ids, "tomb": tomb_ids}[suffix].add(cid)
+        highest = max(data_ids | meta_ids | tomb_ids, default=-1)
         self._next_id = highest + 1
+        if self._oss.peek_size(self._bucket, self.EPOCH_KEY) is not None:
+            raw = json.loads(self._oss.get_object(self._bucket, self.EPOCH_KEY))
+            self._epoch = int(raw["epoch"])
+        for cid in tomb_ids:
+            if cid in data_ids and cid in meta_ids:
+                raw = json.loads(
+                    self._oss.get_object(self._bucket, self.TOMB_KEY.format(cid=cid))
+                )
+                self._tombstoned[cid] = int(raw["epoch"])
+            else:
+                # Reap interrupted between the data/meta deletes and the
+                # tombstone delete; recovery finishes the job.
+                self.partial_reaps.add(cid)
+        for cid in (data_ids | meta_ids) - tomb_ids:
+            if cid in data_ids and cid in meta_ids:
+                self._live_ids.add(cid)
+            else:
+                self.torn_pairs[cid] = "data" if cid in data_ids else "meta"
         return len(self._live_ids)
 
     # --- building -------------------------------------------------------------
@@ -228,6 +299,15 @@ class ContainerStore:
         builder = ContainerBuilder(self._next_id, capacity_bytes)
         self._next_id += 1
         return builder
+
+    def peek_next_id(self) -> int:
+        """The next container id a builder would get (no allocation).
+
+        Jobs journal this as their *watermark* before writing anything:
+        after a crash, a live container at or above an open intent's
+        watermark that no committed recipe references is an orphan.
+        """
+        return self._next_id
 
     def write(self, builder: ContainerBuilder) -> int:
         """Persist a built container (data + meta); returns bytes uploaded."""
@@ -363,10 +443,26 @@ class ContainerStore:
         if not new_data:
             self.delete(container_id)
             return reclaimed
+        # In-place rewrite is a two-object update: a crash between the
+        # data put and the meta put would leave the old metadata pointing
+        # into the shrunk payload.  Journal the outcome first so recovery
+        # can roll the meta forward (the journaled SHA proves the data
+        # put landed) or discard a rewrite that never started.
+        payload = bytes(new_data)
+        seq = None
+        if self.journal is not None:
+            seq = self.journal.begin(
+                "rewrite",
+                container_id=container_id,
+                meta=new_meta.to_bytes().hex(),
+                data_sha=hashlib.sha1(payload).hexdigest(),
+            )
         self._oss.put_object(
-            self._bucket, self.DATA_KEY.format(cid=container_id), bytes(new_data)
+            self._bucket, self.DATA_KEY.format(cid=container_id), payload
         )
         self.update_meta(new_meta)
+        if seq is not None:
+            self.journal.close(seq)
         return reclaimed
 
     @staticmethod
@@ -377,11 +473,142 @@ class ContainerStore:
         )
 
     def delete(self, container_id: int) -> bool:
-        """Delete both objects of a container; True if data existed."""
+        """Delete a container; True if its data object existed.
+
+        With ``grace_epochs`` > 0 this is phase one of a two-phase
+        deletion: the container is :meth:`entomb`-ed (one atomic
+        tombstone put, objects stay readable) and physically reaped only
+        after the grace epochs expire — so a restore planned against
+        pre-maintenance metadata never hits ``ObjectNotFoundError``
+        mid-read.  With the default grace of 0 the objects are deleted
+        immediately, data first, so an interrupted deletion leaves a
+        recognisable meta-only torn pair.
+        """
+        if self.grace_epochs > 0 and container_id in self._live_ids:
+            return self.entomb(container_id)
         existed = self._oss.delete_object(self._bucket, self.DATA_KEY.format(cid=container_id))
         self._oss.delete_object(self._bucket, self.META_KEY.format(cid=container_id))
+        if container_id in self._tombstoned or container_id in self.partial_reaps:
+            self._oss.delete_object(self._bucket, self.TOMB_KEY.format(cid=container_id))
         self._live_ids.discard(container_id)
+        self._tombstoned.pop(container_id, None)
+        self.partial_reaps.discard(container_id)
         return existed
+
+    def purge(self, container_id: int) -> bool:
+        """Physically delete a container, bypassing the tombstone grace.
+
+        Recovery uses this for containers that were never visible to any
+        committed version (orphans of a crashed job, torn-pair remnants):
+        nothing can be reading them, so the grace window does not apply.
+        True if the data object existed.
+        """
+        existed = self._oss.delete_object(self._bucket, self.DATA_KEY.format(cid=container_id))
+        self._oss.delete_object(self._bucket, self.META_KEY.format(cid=container_id))
+        self._oss.delete_object(self._bucket, self.TOMB_KEY.format(cid=container_id))
+        self._live_ids.discard(container_id)
+        self._tombstoned.pop(container_id, None)
+        self.partial_reaps.discard(container_id)
+        self.torn_pairs.pop(container_id, None)
+        return existed
+
+    def complete_rewrite(
+        self, container_id: int, meta_blob: bytes, data_sha: str
+    ) -> bool:
+        """Roll a journaled in-place rewrite forward (recovery path).
+
+        The journal holds the rewrite's new metadata and the SHA-1 of its
+        new payload.  If the stored data object matches the SHA, the data
+        put landed before the crash and only the meta put is missing —
+        re-issue it (idempotent) and return True.  Otherwise the rewrite
+        never reached the data put; the old container is intact and the
+        intent is simply discarded (returns False).
+        """
+        key = self.DATA_KEY.format(cid=container_id)
+        if self._oss.peek_size(self._bucket, key) is None:
+            return False
+        data = self._oss.get_object(self._bucket, key)
+        if hashlib.sha1(data).hexdigest() != data_sha:
+            return False
+        self._oss.put_object(
+            self._bucket, self.META_KEY.format(cid=container_id), meta_blob
+        )
+        return True
+
+    # --- two-phase deletion ------------------------------------------------
+    def entomb(self, container_id: int) -> bool:
+        """Tombstone a container (one atomic put); True if it was live.
+
+        The container leaves the live set — new work no longer sees it —
+        but both objects stay on OSS until :meth:`reap_expired` collects
+        them ``grace_epochs`` deletion epochs later.
+        """
+        if container_id not in self._live_ids:
+            return False
+        self._oss.put_object(
+            self._bucket,
+            self.TOMB_KEY.format(cid=container_id),
+            json.dumps({"epoch": self._epoch}).encode(),
+        )
+        self._live_ids.discard(container_id)
+        self._tombstoned[container_id] = self._epoch
+        return True
+
+    @property
+    def current_epoch(self) -> int:
+        """The repository's current deletion epoch."""
+        return self._epoch
+
+    def advance_epoch(self) -> int:
+        """Start the next deletion epoch (persisted); returns it."""
+        self._epoch += 1
+        self._oss.put_object(
+            self._bucket, self.EPOCH_KEY, json.dumps({"epoch": self._epoch}).encode()
+        )
+        return self._epoch
+
+    def tombstoned_ids(self) -> list[int]:
+        """Containers awaiting their grace expiry, sorted."""
+        return sorted(self._tombstoned)
+
+    def is_tombstoned(self, container_id: int) -> bool:
+        """True while a container sits in its deletion grace window."""
+        return container_id in self._tombstoned
+
+    def reap_expired(self) -> tuple[int, list[int]]:
+        """Physically delete tombstoned containers past their grace.
+
+        Returns ``(bytes reclaimed, reaped container ids)``.  Deletion
+        order is data → meta → tombstone, so an interrupted reap leaves
+        the tombstone behind as the signal for recovery to finish it.
+        """
+        reclaimed = 0
+        reaped: list[int] = []
+        for cid, entombed_at in sorted(self._tombstoned.items()):
+            if entombed_at + self.grace_epochs > self._epoch:
+                continue
+            size = self._oss.peek_size(self._bucket, self.DATA_KEY.format(cid=cid))
+            self._oss.delete_object(self._bucket, self.DATA_KEY.format(cid=cid))
+            self._oss.delete_object(self._bucket, self.META_KEY.format(cid=cid))
+            self._oss.delete_object(self._bucket, self.TOMB_KEY.format(cid=cid))
+            self._tombstoned.pop(cid)
+            reclaimed += size or 0
+            reaped.append(cid)
+        return reclaimed, reaped
+
+    def finish_reap(self, container_id: int) -> None:
+        """Complete a reap that crashed mid-delete (recovery path)."""
+        self._oss.delete_object(self._bucket, self.DATA_KEY.format(cid=container_id))
+        self._oss.delete_object(self._bucket, self.META_KEY.format(cid=container_id))
+        self._oss.delete_object(self._bucket, self.TOMB_KEY.format(cid=container_id))
+        self.partial_reaps.discard(container_id)
+        self._tombstoned.pop(container_id, None)
+
+    def discard_torn(self, container_id: int) -> None:
+        """Delete the surviving half of a quarantined torn pair."""
+        self._oss.delete_object(self._bucket, self.DATA_KEY.format(cid=container_id))
+        self._oss.delete_object(self._bucket, self.META_KEY.format(cid=container_id))
+        self.torn_pairs.pop(container_id, None)
 
     # --- accounting -------------------------------------------------------------------
     def container_ids(self) -> list[int]:

@@ -721,7 +721,16 @@ class _JobState:
         self.builder = self.storage.containers.new_builder(self.config.container_bytes)
 
     def finish(self) -> BackupResult:
-        """Persist recipe, recipe index and similarity registration."""
+        """Persist recipe, recipe index and similarity registration.
+
+        Crash-consistency contract: everything written here (and the
+        container writes before it) is *pre-commit* state — the version
+        only becomes visible when :class:`~repro.core.system.SlimStore`
+        re-publishes the catalog afterwards.  The write order (recipe →
+        recipe index → similar-index registration) is what the recovery
+        discard path in :mod:`repro.core.recovery` unwinds, so keep them
+        in this sequence.
+        """
         recipe = Recipe(
             path=self.path,
             version=self.version,

@@ -57,6 +57,9 @@ class CompactionReport:
     new_container_ids: list[int] = field(default_factory=list)
     bytes_reclaimed: int = 0
     breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: Open journal intent of this pass, closed by the caller once the
+    #: catalog reference fix-up is durable (None when nothing was sparse).
+    journal_seq: int | None = None
 
 
 class GNode:
@@ -96,15 +99,30 @@ class GNode:
         report = ReverseDedupReport()
         meta_cache: dict[int, ContainerMeta] = {}
         dirty: set[int] = set()
-        if self.config.gdedup_batched_lookup:
-            self._reverse_dedup_batched(
-                new_container_ids, watch_fps, report, meta_cache, dirty
-            )
-        else:
-            self._reverse_dedup_serial(
-                new_container_ids, watch_fps, report, meta_cache, dirty
-            )
-        self._persist_dirty_metas(meta_cache, dirty, report)
+        # Journal the pass: a crash leaves the intent open and recovery
+        # simply re-runs it — the pass is idempotent because the index is
+        # re-pointed at the new copy *before* the old copy's deletion
+        # mark becomes durable, so every intermediate state restores.  A
+        # transient OSS failure is not a crash: the job ends degraded and
+        # reclaim_degraded owns the follow-up, so the intent closes.
+        journal = self.storage.journal
+        seq = journal.begin(
+            "reverse_dedup", container_ids=[int(cid) for cid in new_container_ids]
+        )
+        try:
+            if self.config.gdedup_batched_lookup:
+                self._reverse_dedup_batched(
+                    new_container_ids, watch_fps, report, meta_cache, dirty
+                )
+            else:
+                self._reverse_dedup_serial(
+                    new_container_ids, watch_fps, report, meta_cache, dirty
+                )
+            self._persist_dirty_metas(meta_cache, dirty, report)
+        except (TransientOSSError, RetryExhaustedError):
+            journal.close(seq)
+            raise
+        journal.close(seq)
         return report
 
     def _reverse_dedup_serial(
@@ -297,7 +315,21 @@ class GNode:
     # Sparse container compaction (Section V-B)
     # ------------------------------------------------------------------
     def compact_sparse(self, result: BackupResult) -> CompactionReport:
-        """Compact containers the current version references sparsely."""
+        """Compact containers the current version references sparsely.
+
+        The write schedule is crash-safe and the recipe repoint is the
+        commit point: (1) journal the compaction intent with a container
+        watermark, (2) copy the needed chunks into fresh containers —
+        the old containers stay untouched, (3) re-point the global index
+        and record the planned moves in the intent, (4) overwrite the
+        version's recipe (one atomic put — before it the version restores
+        from the old layout, after it from the new), (5) only then mark
+        the moved chunks deleted in the old metadata and collect emptied
+        containers.  A crash before (4) discards: the new containers are
+        orphans above the watermark and recovery garbage-collects them,
+        re-pointing the index back.  A crash after (4) rolls forward:
+        recovery replays the cleanup from the journaled moves.
+        """
         report = CompactionReport()
         containers = self.storage.containers
         new_ids = set(result.new_container_ids)
@@ -331,8 +363,24 @@ class GNode:
                 if record.fp not in fps:
                     fps.append(record.fp)
 
+        journal = self.storage.journal
+        watermark = containers.peek_next_id()
+        seq = journal.begin(
+            "compaction",
+            path=result.path,
+            version=result.version,
+            watermark=watermark,
+            sparse=sparse,
+        )
+
+        # Phase 1: copy the needed chunks into fresh containers.  The old
+        # containers are not touched yet — their metadata mutations are
+        # planned (per-container deletion sets) and applied only after
+        # the recipe repoint commits.
         builder = containers.new_builder(self.config.container_bytes)
         moved: dict[bytes, int] = {}
+        old_metas: dict[int, ContainerMeta] = {}
+        planned_deletes: dict[int, list[bytes]] = {cid: [] for cid in sparse}
         for cid in sparse:
             before = self.storage.oss.stats.snapshot()
             meta = containers.read_meta(cid)
@@ -340,9 +388,12 @@ class GNode:
             report.breakdown.charge(
                 "download", self.storage.oss.stats.diff(before).read_seconds
             )
+            old_metas[cid] = meta
+            planned = planned_deletes[cid]
+            planned_set: set[bytes] = set()
             for fp in needed[cid]:
                 entry = meta.find(fp)
-                if entry is None or entry.deleted:
+                if entry is None or entry.deleted or fp in planned_set:
                     continue
                 if (
                     not builder.is_empty()
@@ -354,7 +405,8 @@ class GNode:
                 moved[fp] = builder.container_id
                 report.chunks_moved += 1
                 report.bytes_moved += entry.size
-                meta.mark_deleted(fp)
+                planned.append(fp)
+                planned_set.add(fp)
                 # A moved superchunk carries its firstChunk alias along so
                 # first-chunk references keep resolving in the new home.
                 if not entry.alias:
@@ -362,13 +414,83 @@ class GNode:
                         if (
                             alias.alias
                             and not alias.deleted
+                            and alias.fp not in planned_set
                             and entry.offset <= alias.offset
                             and alias.offset + alias.size <= entry.offset + entry.size
                         ):
                             delta = alias.offset - entry.offset
                             builder.add_alias(alias.fp, new_offset + delta, alias.size)
                             moved[alias.fp] = builder.container_id
-                            meta.mark_deleted(alias.fp)
+                            planned.append(alias.fp)
+                            planned_set.add(alias.fp)
+        if not builder.is_empty():
+            builder = self._flush_compaction(builder, report)
+
+        # Phase 2: record the planned moves (one atomic journal update),
+        # then re-point the global index.  Recovery needs the moves to
+        # either replay the cleanup (committed) or walk the index back
+        # to the still-live old copies (discarded).
+        journal.update(
+            seq,
+            "compaction",
+            path=result.path,
+            version=result.version,
+            watermark=watermark,
+            sparse=sparse,
+            new_cids=list(report.new_container_ids),
+            moves={fp.hex(): cid for fp, cid in moved.items()},
+        )
+        for fp, new_cid in sorted(moved.items()):
+            self.storage.global_index.assign(fp, new_cid)
+
+        # Phase 3: COMMIT.  One atomic recipe overwrite flips the version
+        # from the old layout to the new one.
+        for segment in result.recipe.segments:
+            for record in segment:
+                new_cid = moved.get(record.fp)
+                if new_cid is not None and record.container_id in sparse_set:
+                    record.container_id = new_cid
+        before = self.storage.oss.stats.snapshot()
+        self.storage.recipes.put_recipe(result.recipe)
+        report.breakdown.charge(
+            "upload", self.storage.oss.stats.diff(before).write_seconds
+        )
+
+        # Phase 4: cleanup — only now do the old copies die.  The intent
+        # stays open (journal_seq) until the caller has re-published the
+        # catalog with the new reference set: a crash before that persist
+        # must still find the intent so recovery can replay the fix-up.
+        self._compaction_cleanup(sparse, planned_deletes, old_metas, report)
+        report.journal_seq = seq
+        return report
+
+    def _compaction_cleanup(
+        self,
+        sparse: list[int],
+        planned_deletes: dict[int, list[bytes]],
+        old_metas: dict[int, ContainerMeta],
+        report: CompactionReport,
+    ) -> None:
+        """Mark moved chunks deleted in their old containers and collect.
+
+        Runs after the recipe repoint committed; recovery replays it from
+        the journaled moves (re-reading the metadata), so it must stay
+        idempotent: marking an already-deleted chunk is a no-op, deleting
+        an already-deleted container is a no-op.
+        """
+        containers = self.storage.containers
+        for cid in sparse:
+            if not containers.exists(cid):
+                continue
+            meta = old_metas.get(cid)
+            if meta is None:
+                before = self.storage.oss.stats.snapshot()
+                meta = containers.read_meta(cid)
+                report.breakdown.charge(
+                    "download", self.storage.oss.stats.diff(before).read_seconds
+                )
+            for fp in planned_deletes.get(cid, []):
+                meta.mark_deleted(fp)
             before = self.storage.oss.stats.snapshot()
             containers.update_meta(meta)
             if not meta.live_lookup_entries():
@@ -379,23 +501,6 @@ class GNode:
             report.breakdown.charge(
                 "upload", self.storage.oss.stats.diff(before).write_seconds
             )
-        if not builder.is_empty():
-            builder = self._flush_compaction(builder, report)
-
-        # Update the current recipe in place and re-point the global index.
-        for segment in result.recipe.segments:
-            for record in segment:
-                new_cid = moved.get(record.fp)
-                if new_cid is not None and record.container_id in sparse_set:
-                    record.container_id = new_cid
-        for fp, new_cid in moved.items():
-            self.storage.global_index.assign(fp, new_cid)
-        before = self.storage.oss.stats.snapshot()
-        self.storage.recipes.put_recipe(result.recipe)
-        report.breakdown.charge(
-            "upload", self.storage.oss.stats.diff(before).write_seconds
-        )
-        return report
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -408,6 +513,12 @@ class GNode:
         ``container_rewrite_threshold``; this offline sweep finishes the
         job during idle periods, squeezing out the remaining marked-deleted
         bytes (the long-term decline of Fig 9(b)).
+
+        With two-phase deletion enabled this sweep is also the reaper: it
+        physically collects tombstoned containers whose grace epochs have
+        passed and then advances the deletion epoch, so a container
+        entombed today survives ``tombstone_grace_epochs`` further
+        deep_clean passes before its bytes disappear.
         """
         reclaimed = 0
         containers = self.storage.containers
@@ -419,6 +530,10 @@ class GNode:
             elif meta.stale_fraction() > stale_threshold:
                 reclaimed += containers.rewrite(cid)
         self._prune_global_index()
+        reaped_bytes, _ = containers.reap_expired()
+        reclaimed += reaped_bytes
+        if containers.grace_epochs > 0:
+            containers.advance_epoch()
         return reclaimed
 
     def _prune_global_index(self) -> int:

@@ -5,6 +5,14 @@ and restore is loaded during the job execution."  Accordingly, an
 :class:`LNode` constructs a fresh engine per job — everything durable lives
 in the shared storage layer, which is what lets the cluster scale L-nodes
 elastically (Fig 10).
+
+Statelessness is also the crash-recovery contract: an L-node that dies
+mid-job leaves nothing behind except its uncommitted OSS writes, which
+the facade's intent journal brackets and attach-time recovery discards
+(see ``docs/CRASH_RECOVERY.md``).  A replacement node needs no handoff —
+it attaches to the same storage layer and carries on, exactly what the
+crash matrix (``tests/integration/test_crash_matrix.py``) replays at
+every write index.
 """
 
 from __future__ import annotations

@@ -1,0 +1,447 @@
+"""Attach-time crash recovery: roll forward or discard interrupted jobs.
+
+A SLIMSTORE node can die at any OSS write — mid-backup, mid-compaction,
+mid-reap.  Because every multi-write job journals its intent first (see
+:mod:`repro.core.journal`) and publishes through a single atomic commit
+write, the repository is always in one of two states per job: *committed*
+(the commit object landed; any missing follow-up writes are replayable)
+or *invisible* (the commit never landed; the job's writes are garbage).
+:class:`RecoveryManager` classifies every surviving intent into one of
+those two buckets and then makes the storage physically match the
+logical state: it re-runs idempotent maintenance, deletes orphaned
+containers above the journaled watermarks, collects torn
+``.data``/``.meta`` pairs, finishes interrupted tombstone reaps,
+reconciles global-index entries left pointing at dead containers, and
+finally truncates the journal.
+
+``repro fsck`` uses :meth:`RecoveryManager.inspect` for a read-only
+report of the same evidence, and ``--repair`` runs :meth:`run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.gnode import CompactionReport
+from repro.core.journal import Intent
+from repro.core.snapshot import Snapshot
+from repro.errors import VersionNotFoundError
+
+if TYPE_CHECKING:
+    from repro.core.system import SlimStore
+
+
+@dataclass
+class RecoveryReport:
+    """What one attach-time recovery pass found and fixed."""
+
+    #: (seq, kind) of every intent that was open when recovery started.
+    open_intents: list[tuple[int, str]] = field(default_factory=list)
+    #: Intents whose commit point had landed; side effects were replayed.
+    rolled_forward: list[tuple[int, str]] = field(default_factory=list)
+    #: Intents whose commit never landed; side effects were removed.
+    discarded: list[tuple[int, str]] = field(default_factory=list)
+    #: Orphaned containers (at/above a crashed job's watermark,
+    #: unreferenced by any committed version) physically deleted.
+    orphans_collected: list[int] = field(default_factory=list)
+    orphan_bytes: int = 0
+    #: Torn-pair remnants deleted (the surviving half was unreferenced).
+    torn_collected: list[int] = field(default_factory=list)
+    #: Torn pairs still referenced by a committed version: data loss the
+    #: journal cannot explain — reported, never deleted.
+    torn_damaged: list[int] = field(default_factory=list)
+    #: Interrupted two-phase reaps completed.
+    reaps_finished: list[int] = field(default_factory=list)
+    #: Global-index entries re-pointed or removed.
+    index_entries_fixed: int = 0
+    #: Journal entries dropped by the final truncate.
+    journal_truncated: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when recovery had nothing to do (modulo damage reports)."""
+        return not (
+            self.open_intents
+            or self.orphans_collected
+            or self.torn_collected
+            or self.torn_damaged
+            or self.reaps_finished
+            or self.index_entries_fixed
+        )
+
+
+@dataclass
+class FsckReport:
+    """Read-only repository health check (``repro fsck``)."""
+
+    open_intents: list[Intent] = field(default_factory=list)
+    #: cid → surviving half ("data"/"meta") of quarantined torn pairs.
+    torn_pairs: dict[int, str] = field(default_factory=dict)
+    #: Tombstoned containers whose reap was interrupted mid-delete.
+    partial_reaps: list[int] = field(default_factory=list)
+    #: Containers inside their deletion grace window (informational).
+    tombstoned: list[int] = field(default_factory=list)
+    #: Live containers at/above an open intent's watermark that no
+    #: committed version references (would be GC'd by ``--repair``).
+    orphan_candidates: list[int] = field(default_factory=list)
+    #: Global-index entries pointing at dead containers.  Informational:
+    #: normal version collection leaves these behind on purpose (the
+    #: index has no per-container fingerprint list) and ``deep_clean``
+    #: prunes them, so they do not make the repository unclean.
+    dangling_index_entries: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the repository needs no repair."""
+        return not (
+            self.open_intents
+            or self.torn_pairs
+            or self.partial_reaps
+            or self.orphan_candidates
+        )
+
+
+class RecoveryManager:
+    """Runs the per-intent-kind recovery state machine over one store."""
+
+    def __init__(self, store: "SlimStore") -> None:
+        self.store = store
+        self.storage = store.storage
+        self.containers = store.storage.containers
+        self.journal = store.storage.journal
+        self._catalog_dirty = False
+        self._meta_cache: dict[int, object] = {}
+
+    # --- read-only inspection (fsck) ---------------------------------------
+    def inspect(self) -> FsckReport:
+        """Report the repository's crash-consistency evidence, fix nothing."""
+        intents = self.journal.open_intents()
+        report = FsckReport(
+            open_intents=intents,
+            torn_pairs=dict(self.containers.torn_pairs),
+            partial_reaps=sorted(self.containers.partial_reaps),
+            tombstoned=self.containers.tombstoned_ids(),
+            orphan_candidates=self._orphan_candidates(intents),
+        )
+        index = self.storage.global_index
+        for _fp, cid in index.iter_items():
+            if not self.containers.exists(cid) and not self.containers.is_tombstoned(cid):
+                report.dangling_index_entries += 1
+        return report
+
+    # --- repair ------------------------------------------------------------
+    def run(self, intents: list[Intent] | None = None) -> RecoveryReport:
+        """Resolve every open intent, GC the debris, truncate the journal."""
+        if intents is None:
+            intents = self.journal.open_intents()
+        report = RecoveryReport(
+            open_intents=[(intent.seq, intent.kind) for intent in intents]
+        )
+        handlers = {
+            "rewrite": self._handle_rewrite,
+            "reverse_dedup": self._handle_reverse_dedup,
+            "compaction": self._handle_compaction,
+            "backup": self._handle_backup,
+            "snapshot": self._handle_snapshot,
+            "delete_version": self._handle_delete_version,
+            "delete_snapshot": self._handle_delete_snapshot,
+        }
+        # Rewrite intents repair a possibly-torn container *in place*
+        # (new data object, old metadata) and every other handler —
+        # re-running reverse dedup, walking a compaction back — reads
+        # containers assuming data and metadata agree.  So rewrites are
+        # resolved first regardless of sequence order; the remaining
+        # intents replay in the order the crashed process opened them.
+        for intent in sorted(
+            intents, key=lambda i: (i.kind != "rewrite", i.seq)
+        ):
+            handler = handlers.get(intent.kind)
+            if handler is None:
+                # Unknown (future) intent kind: leave visible state alone,
+                # count it as discarded so the truncate is explained.
+                report.discarded.append((intent.seq, intent.kind))
+                continue
+            handler(intent, report)
+        self._collect_orphans(intents, report)
+        self._collect_torn(report)
+        for cid in sorted(self.containers.partial_reaps):
+            self.containers.finish_reap(cid)
+            report.reaps_finished.append(cid)
+        self._reconcile_index(report)
+        report.journal_truncated = self.journal.truncate()
+        if self._catalog_dirty:
+            self.store._persist_catalog()
+        return report
+
+    # --- per-kind handlers ---------------------------------------------------
+    def _handle_rewrite(self, intent: Intent, report: RecoveryReport) -> None:
+        """In-place rewrite: the journaled SHA decides forward/backward."""
+        payload = intent.payload
+        done = self.containers.complete_rewrite(
+            int(payload["container_id"]),
+            bytes.fromhex(payload["meta"]),
+            str(payload["data_sha"]),
+        )
+        if done:
+            report.rolled_forward.append((intent.seq, intent.kind))
+        else:
+            report.discarded.append((intent.seq, intent.kind))
+
+    def _handle_reverse_dedup(self, intent: Intent, report: RecoveryReport) -> None:
+        """Reverse dedup is idempotent: simply re-run the whole pass.
+
+        The pass re-points the index at the new copy before the old
+        copy's deletion mark becomes durable, so every crash state is
+        restorable and a re-run converges on the completed outcome.
+        """
+        cids = [
+            int(cid)
+            for cid in intent.payload.get("container_ids", [])
+            if self.containers.exists(int(cid))
+        ]
+        if cids:
+            self.store.gnode.reverse_dedup(cids)
+        report.rolled_forward.append((intent.seq, intent.kind))
+
+    def _handle_compaction(self, intent: Intent, report: RecoveryReport) -> None:
+        """Compaction: committed iff the recipe references a new container."""
+        payload = intent.payload
+        moves_raw = payload.get("moves") or {}
+        if not moves_raw:
+            # Crash during phase 1: nothing shared was touched (old
+            # containers intact, index untouched, recipe untouched).  The
+            # half-built new containers fall to the watermark orphan GC.
+            report.discarded.append((intent.seq, intent.kind))
+            return
+        path = str(payload["path"])
+        version = int(payload["version"])
+        sparse = [int(cid) for cid in payload.get("sparse", [])]
+        new_cids = [int(cid) for cid in payload.get("new_cids", [])]
+        moves = {bytes.fromhex(fp): int(cid) for fp, cid in moves_raw.items()}
+        try:
+            recipe = self.storage.recipes.get_recipe(path, version)
+            refs = recipe.referenced_containers()
+        except VersionNotFoundError:
+            refs = set()
+        if refs & set(new_cids):
+            self._roll_compaction_forward(path, version, sparse, moves, refs)
+            report.rolled_forward.append((intent.seq, intent.kind))
+        else:
+            report.index_entries_fixed += self._walk_index_back(sparse, moves)
+            for cid in new_cids:
+                if self.containers.exists(cid):
+                    report.orphan_bytes += self.containers.container_size(cid)
+                    self.containers.purge(cid)
+                    report.orphans_collected.append(cid)
+            report.discarded.append((intent.seq, intent.kind))
+
+    def _roll_compaction_forward(
+        self,
+        path: str,
+        version: int,
+        sparse: list[int],
+        moves: dict[bytes, int],
+        refs: set[int],
+    ) -> None:
+        """Replay the post-commit cleanup from the journaled moves.
+
+        The journal records *which* fingerprints moved but not which
+        sparse container each came from, so the replay offers every moved
+        fingerprint to every sparse container's metadata —
+        ``mark_deleted`` is a no-op where the fingerprint is absent, and
+        deleting a stray duplicate copy is safe because the global index
+        already points at the durable new home.
+        """
+        planned = {cid: list(moves) for cid in sparse}
+        self.store.gnode._compaction_cleanup(sparse, planned, {}, CompactionReport())
+        self.store.catalog.update_references(path, version, refs)
+        self.store.catalog.add_garbage(path, version, sparse)
+        self._catalog_dirty = True
+
+    def _walk_index_back(self, sparse: list[int], moves: dict[bytes, int]) -> int:
+        """Re-point index entries from dead new containers to old copies.
+
+        For a discarded compaction the old copies are still live (cleanup
+        never ran), so each moved fingerprint walks back to the sparse
+        container that still holds it; a copy that some earlier pass had
+        marked deleted is revived in place (the bytes never left the
+        payload).  A fingerprint with no surviving copy loses its entry.
+        """
+        index = self.storage.global_index
+        fixed = 0
+        for fp, new_cid in sorted(moves.items()):
+            if index.lookup(fp) != new_cid:
+                continue
+            home = None
+            for cid in sparse:
+                if not self.containers.exists(cid):
+                    continue
+                meta = self._meta(cid)
+                entry = meta.find(fp)
+                if entry is not None and not entry.deleted:
+                    home = cid
+                    break
+            if home is None:
+                for cid in sparse:
+                    if not self.containers.exists(cid):
+                        continue
+                    meta = self._meta(cid)
+                    if meta.revive(fp):
+                        self.containers.update_meta(meta)
+                        home = cid
+                        break
+            if home is not None:
+                index.assign(fp, home)
+            else:
+                index.remove(fp)
+            fixed += 1
+        return fixed
+
+    def _handle_backup(self, intent: Intent, report: RecoveryReport) -> None:
+        """Backup: committed iff the catalog (the commit object) lists it."""
+        path = str(intent.payload["path"])
+        committed = self.store.catalog.versions(path)
+        next_version = (committed[-1] + 1) if committed else 0
+        candidates = {next_version}
+        latest = self.storage.similar_index.latest_version(path)
+        if latest is not None and latest >= next_version:
+            candidates.add(latest)
+        removed = False
+        for version in sorted(candidates):
+            if version in committed:
+                continue
+            if self.storage.recipes.delete_recipe(path, version):
+                removed = True
+        latest = self.storage.similar_index.latest_version(path)
+        if latest is not None and latest >= next_version:
+            previous = committed[-1] if committed else None
+            self.storage.similar_index.rollback_registration(path, latest, previous)
+            removed = True
+        if removed:
+            report.discarded.append((intent.seq, intent.kind))
+        else:
+            # The catalog put landed and only the intent close is
+            # missing: the version is fully committed.
+            report.rolled_forward.append((intent.seq, intent.kind))
+        # Orphaned containers fall to the watermark GC.
+
+    def _handle_snapshot(self, intent: Intent, report: RecoveryReport) -> None:
+        """Snapshot run: publish a partial manifest of committed members.
+
+        Every member recorded in the intent committed individually before
+        the journal update that recorded it, so the partial manifest is
+        consistent; the member in flight at the crash is handled by its
+        own ``backup`` intent.
+        """
+        snapshot_id = str(intent.payload["snapshot_id"])
+        if snapshot_id in self.store.snapshots.list_ids():
+            report.rolled_forward.append((intent.seq, intent.kind))
+            return
+        members = {
+            str(path): int(version)
+            for path, version in intent.payload.get("members", {}).items()
+            if int(version) in self.store.catalog.versions(str(path))
+        }
+        if members:
+            self.store.snapshots.put(Snapshot(snapshot_id, members))
+            report.rolled_forward.append((intent.seq, intent.kind))
+        else:
+            report.discarded.append((intent.seq, intent.kind))
+
+    def _handle_delete_version(self, intent: Intent, report: RecoveryReport) -> None:
+        """Version delete: committed iff the catalog no longer lists it."""
+        payload = intent.payload
+        path = str(payload["path"])
+        version = int(payload["version"])
+        if version in self.store.catalog.versions(path):
+            # The catalog republish (commit) never landed; the loaded
+            # catalog still carries the version fully intact.
+            report.discarded.append((intent.seq, intent.kind))
+            return
+        for cid in payload.get("collectable", []):
+            cid = int(cid)
+            if self.containers.exists(cid):
+                self.containers.delete(cid)
+        self.storage.recipes.delete_recipe(path, version)
+        if payload.get("forget_similar"):
+            if self.storage.similar_index.latest_version(path) == version:
+                self.storage.similar_index.forget_version(path, version)
+        report.rolled_forward.append((intent.seq, intent.kind))
+
+    def _handle_delete_snapshot(self, intent: Intent, report: RecoveryReport) -> None:
+        """Snapshot delete: committed iff the manifest is already gone."""
+        snapshot_id = str(intent.payload["snapshot_id"])
+        if snapshot_id in self.store.snapshots.list_ids():
+            for path, version in intent.payload.get("members", []):
+                live = self.store.catalog.versions(str(path))
+                if live and live[0] == int(version):
+                    self.store.delete_version(str(path), int(version))
+            self.store.snapshots.delete(snapshot_id)
+        report.rolled_forward.append((intent.seq, intent.kind))
+
+    # --- debris collection -----------------------------------------------------
+    def _orphan_candidates(self, intents: list[Intent]) -> list[int]:
+        """Live containers above a crashed job's watermark, unreferenced."""
+        watermarks = [
+            int(intent.payload["watermark"])
+            for intent in intents
+            if intent.kind in ("backup", "compaction")
+            and "watermark" in intent.payload
+        ]
+        if not watermarks:
+            return []
+        floor = min(watermarks)
+        referenced = self.store.catalog.live_container_ids()
+        return [
+            cid
+            for cid in self.containers.container_ids()
+            if cid >= floor and cid not in referenced
+        ]
+
+    def _collect_orphans(self, intents: list[Intent], report: RecoveryReport) -> None:
+        for cid in self._orphan_candidates(intents):
+            report.orphan_bytes += self.containers.container_size(cid)
+            self.containers.purge(cid)
+            report.orphans_collected.append(cid)
+
+    def _collect_torn(self, report: RecoveryReport) -> None:
+        """Collect torn-pair remnants; report (never delete) damage.
+
+        A ``.data``-only pair is an interrupted container write — the
+        meta never landed, so no committed recipe can name it — unless
+        the catalog references it, which means the meta object was lost
+        some other way: that is damage, not debris.  A ``.meta``-only
+        pair is an interrupted hard delete (data goes first); it is
+        debris unless it still carries live entries *and* a committed
+        version references it.
+        """
+        referenced = self.store.catalog.live_container_ids()
+        for cid, half in sorted(self.containers.torn_pairs.items()):
+            if cid in referenced:
+                if half == "meta":
+                    meta = self.containers.read_meta(cid)
+                    if not meta.live_lookup_entries():
+                        self.containers.purge(cid)
+                        report.torn_collected.append(cid)
+                        continue
+                report.torn_damaged.append(cid)
+                continue
+            self.containers.purge(cid)
+            report.torn_collected.append(cid)
+
+    def _reconcile_index(self, report: RecoveryReport) -> None:
+        """Drop index entries left pointing at containers recovery removed."""
+        index = self.storage.global_index
+        for fp, cid in list(index.iter_items()):
+            if self.containers.exists(cid) or self.containers.is_tombstoned(cid):
+                continue
+            index.remove(fp)
+            report.index_entries_fixed += 1
+
+    def _meta(self, cid: int):
+        meta = self._meta_cache.get(cid)
+        if meta is None:
+            meta = self.containers.read_meta(cid)
+            self._meta_cache[cid] = meta
+        return meta

@@ -45,11 +45,22 @@ class ScrubReport:
     chunks_repaired: int = 0
     containers_rewritten: int = 0
     quarantined_chunks: list[tuple[int, bytes]] = field(default_factory=list)
+    #: Containers where only one of ``.data``/``.meta`` survives.  These
+    #: are invisible to the container pass (quarantined ids serve no
+    #: reads), so they are reported from the container store's
+    #: attach-time evidence; after crash recovery has collected the
+    #: explainable ones, anything left here is a referenced torn pair —
+    #: real data loss.
+    torn_containers: list[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         """True when no corruption or dangling references were found."""
-        return not self.corrupt_chunks and not self.unresolvable_records
+        return (
+            not self.corrupt_chunks
+            and not self.unresolvable_records
+            and not self.torn_containers
+        )
 
     @property
     def fully_repaired(self) -> bool:
@@ -79,6 +90,7 @@ class RepositoryScrubber:
         none does; the recipe pass then runs against the repaired state.
         """
         report = ScrubReport()
+        report.torn_containers = sorted(self.storage.containers.torn_pairs)
         self._scrub_containers(report)
         if repair and report.corrupt_chunks:
             self._repair_containers(report)

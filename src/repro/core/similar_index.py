@@ -80,6 +80,29 @@ class SimilarFileIndex:
             del self._latest[path]
         self._persist()
 
+    def rollback_registration(
+        self, path: str, version: int, previous: int | None
+    ) -> None:
+        """Undo an uncommitted version's registration (crash recovery).
+
+        Unlike :meth:`forget_version` — which retires a *committed*
+        version and may leave the path unknown — a rollback restores the
+        last committed version as the path's latest, so the next backup
+        of ``path`` continues the version sequence instead of restarting
+        at 0 and colliding with live versions.
+        """
+        stale = [
+            fp for fp, owner in self._by_rep.items() if owner == (path, version)
+        ]
+        for fp in stale:
+            del self._by_rep[fp]
+        if self._latest.get(path) == version:
+            if previous is None:
+                del self._latest[path]
+            else:
+                self._latest[path] = previous
+        self._persist()
+
     # --- persistence ------------------------------------------------------------
     def _persist(self) -> None:
         blob = bytearray(_HEADER.pack(len(self._latest), len(self._by_rep)))

@@ -13,6 +13,7 @@ restarts together with the rest of the repository.
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
@@ -57,12 +58,31 @@ class SnapshotStore:
         self._next_id = 0
         oss.create_bucket(bucket)
 
-    def recover(self) -> int:
-        """Resume the id sequence from OSS; returns live snapshot count."""
-        keys = self._oss.peek_keys(self._bucket, self.PREFIX)
-        if keys:
-            self._next_id = max(int(key[len(self.PREFIX):]) for key in keys) + 1
-        return len(keys)
+    def recover(self, reserved_ids: Iterable[str] = ()) -> int:
+        """Resume the id sequence from OSS; returns live snapshot count.
+
+        ``reserved_ids`` names snapshot ids claimed by journal intents of
+        interrupted backup runs.  Their manifests may not exist (the
+        crash hit before publish), so deriving the next id from persisted
+        manifests alone would hand the same id to a new run and let it
+        collide with the journaled one once recovery resolves it — the
+        sequence resumes past both populations.  Non-numeric keys under
+        the prefix are skipped instead of crashing the attach.
+        """
+        ids: list[int] = []
+        count = 0
+        for key in self._oss.peek_keys(self._bucket, self.PREFIX):
+            stem = key[len(self.PREFIX):]
+            if not stem.isdigit():
+                continue
+            ids.append(int(stem))
+            count += 1
+        for reserved in reserved_ids:
+            if str(reserved).isdigit():
+                ids.append(int(reserved))
+        if ids:
+            self._next_id = max(ids) + 1
+        return count
 
     def allocate_id(self) -> str:
         """The next snapshot id (zero-padded so ids sort by time)."""

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.core.container import ContainerStore
 from repro.core.global_index import GlobalIndex
+from repro.core.journal import IntentJournal
 from repro.core.recipe import RecipeStore
 from repro.core.similar_index import SimilarFileIndex
 from repro.oss.object_store import ObjectStorageService
@@ -50,6 +51,7 @@ class StorageLayer:
     recipes: RecipeStore
     similar_index: SimilarFileIndex
     global_index: GlobalIndex
+    journal: IntentJournal
 
     def meter_reads(self) -> ReadMeter:
         """A :class:`ReadMeter` over this layer's OSS endpoint."""
@@ -65,17 +67,26 @@ class StorageLayer:
         use_bloom: bool = True,
         retry_policy: RetryPolicy | None = None,
         index_shard_count: int = 1,
+        tombstone_grace_epochs: int = 0,
     ) -> "StorageLayer":
         """Create all stores on one OSS endpoint.
 
         With a ``retry_policy``, every component talks to OSS through a
         :class:`~repro.oss.retry.RetryingObjectStore`, so transient OSS
-        failures are absorbed below the dedup/restore engines.
+        failures are absorbed below the dedup/restore engines.  The
+        intent journal shares the main bucket; the container store gets
+        it for journaled in-place rewrites, plus the tombstone grace.
         """
         endpoint = oss if retry_policy is None else RetryingObjectStore(oss, retry_policy)
+        journal = IntentJournal(endpoint, bucket)
         return cls(
             oss=endpoint,
-            containers=ContainerStore(endpoint, bucket),
+            containers=ContainerStore(
+                endpoint,
+                bucket,
+                journal=journal,
+                grace_epochs=tombstone_grace_epochs,
+            ),
             recipes=RecipeStore(endpoint, bucket),
             similar_index=SimilarFileIndex(endpoint, bucket),
             global_index=GlobalIndex(
@@ -85,4 +96,5 @@ class StorageLayer:
                 use_bloom=use_bloom,
                 shard_count=index_shard_count,
             ),
+            journal=journal,
         )

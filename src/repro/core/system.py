@@ -26,7 +26,12 @@ from repro.core.lnode import LNode
 from repro.core.restore import RestoreResult
 from repro.core.snapshot import Snapshot, SnapshotStore
 from repro.core.storage import StorageLayer
-from repro.errors import RetryExhaustedError, TransientOSSError, VersionNotFoundError
+from repro.errors import (
+    RetryExhaustedError,
+    SimulatedCrashError,
+    TransientOSSError,
+    VersionNotFoundError,
+)
 from repro.oss.object_store import ObjectStorageService
 from repro.oss.retry import RetryPolicy
 from repro.sim.cost_model import CostModel
@@ -162,6 +167,48 @@ class VersionCatalog:
             if dropped:
                 self._garbage.setdefault(previous, set()).update(dropped)
 
+    def update_references(self, path: str, version: int, referenced: set[int]) -> None:
+        """Re-point a committed version's references after maintenance.
+
+        Sparse-container compaction runs *after* the version committed
+        (crash-consistent ordering), so the reference set recorded at
+        commit time can name containers the compactor has since emptied.
+        This adjusts the per-container refcounts by set difference and
+        re-runs the predecessor's mark-phase diff: any predecessor
+        container no longer referenced by the new set joins the
+        predecessor's garbage list (a superset of the commit-time diff,
+        since compaction output containers are fresh ids that never
+        appear in the predecessor's references).
+        """
+        key = (path, version)
+        if key not in self._refs:
+            raise VersionNotFoundError(path, version)
+        old = self._refs[key]
+        new = set(referenced)
+        if new == old:
+            return
+        for cid in old - new:
+            self._refcount[cid] -= 1
+        for cid in new - old:
+            self._refcount[cid] += 1
+        self._refs[key] = new
+        previous = (path, version - 1)
+        if previous in self._refs:
+            dropped = self._refs[previous] - new
+            if dropped:
+                self._garbage.setdefault(previous, set()).update(dropped)
+
+    def references(self, path: str, version: int) -> set[int]:
+        """Containers referenced by one committed version (a copy)."""
+        key = (path, version)
+        if key not in self._refs:
+            raise VersionNotFoundError(path, version)
+        return set(self._refs[key])
+
+    def live_container_ids(self) -> set[int]:
+        """Every container referenced by at least one committed version."""
+        return {cid for cid, count in self._refcount.items() if count > 0}
+
     def add_garbage(self, path: str, version: int, container_ids: list[int]) -> None:
         """Associate extra garbage candidates (e.g. compacted sparse
         containers) with a version."""
@@ -213,6 +260,7 @@ class SlimStore:
             use_bloom=self.config.gdedup_bloom_filter,
             retry_policy=retry_policy,
             index_shard_count=self.config.index_shard_count,
+            tombstone_grace_epochs=self.config.tombstone_grace_epochs,
         )
         self.lnodes = [
             LNode(i, self.config, self.storage, self.cost_model)
@@ -224,29 +272,55 @@ class SlimStore:
         # retrying) endpoint as the rest of the storage layer.
         self.snapshots = SnapshotStore(self.storage.oss, bucket)
         self._next_lnode = 0
+        #: Report of the last attach-time recovery pass (None until
+        #: :meth:`recover` runs against a dirty repository).
+        self.last_recovery = None
 
     CATALOG_KEY = "catalog/state.json"
 
     # --- durable repositories --------------------------------------------------
-    def recover(self) -> bool:
+    def recover(self, run_recovery: bool = True) -> bool:
         """Attach to an existing repository on this OSS endpoint.
 
-        Rebuilds every stateful component from storage: the container id
-        space, the similar-file index, the global index (with its Bloom
-        filter) and the version catalog.  Returns True if a catalog was
-        found (i.e. the repository had prior backups).
+        Rebuilds every stateful component from storage: the intent
+        journal, the container id space, the similar-file index, the
+        global index (with its Bloom filter), the snapshot id sequence
+        (reserving ids claimed by journaled-but-unpublished runs) and the
+        version catalog.  Returns True if a catalog was found (i.e. the
+        repository had prior backups).
+
+        When the journal holds open intents, the container store reports
+        torn ``.data``/``.meta`` pairs, or a two-phase reap was
+        interrupted, a previous process died mid-job.  Unless
+        ``run_recovery`` is False (``repro fsck`` inspects first), a
+        :class:`~repro.core.recovery.RecoveryManager` pass rolls every
+        interrupted job forward or discards it, collects orphans, and
+        truncates the journal; its report lands in ``last_recovery``.
         """
+        intents = self.storage.journal.recover()
         self.storage.containers.recover()
         self.storage.similar_index.load()
         self.storage.global_index.recover()
-        self.snapshots.recover()
+        reserved = [
+            str(intent.payload["snapshot_id"])
+            for intent in intents
+            if intent.kind == "snapshot" and "snapshot_id" in intent.payload
+        ]
+        self.snapshots.recover(reserved_ids=reserved)
         payload = None
         if self.storage.oss.peek_size(self.bucket, self.CATALOG_KEY) is not None:
             payload = self.storage.oss.get_object(self.bucket, self.CATALOG_KEY)
-        if payload is None:
-            return False
-        self.catalog = VersionCatalog.from_json(payload.decode())
-        return True
+        found = payload is not None
+        if found:
+            self.catalog = VersionCatalog.from_json(payload.decode())
+        self.last_recovery = None
+        containers = self.storage.containers
+        dirty = bool(intents or containers.torn_pairs or containers.partial_reaps)
+        if run_recovery and dirty:
+            from repro.core.recovery import RecoveryManager
+
+            self.last_recovery = RecoveryManager(self).run(intents)
+        return found
 
     def _persist_catalog(self) -> None:
         self.storage.oss.put_object(
@@ -275,9 +349,39 @@ class SlimStore:
         A G-node pass that cannot reach OSS (even after retries) never
         fails the backup: the version is flagged ``degraded`` and a later
         :meth:`reclaim_degraded` pass finishes the space optimisation.
+
+        Commit ordering (crash consistency): container data and metas,
+        the recipe and its index, and the similar-index registration are
+        all written by the L-node job *before* the catalog object is
+        re-published — the catalog put is the single atomic write that
+        makes the version visible.  A ``backup`` intent (carrying the
+        container-id watermark) brackets the uncommitted window so
+        recovery can discard a half-written version and GC its orphaned
+        containers; G-node maintenance runs only after the commit, under
+        its own journal intents.
         """
+        journal = self.storage.journal
+        watermark = self.storage.containers.peek_next_id()
+        seq = journal.begin("backup", path=path, watermark=watermark)
         node = self._pick_lnode()
-        result = node.backup(path, data, rewrite_containers=rewrite_containers)
+        try:
+            result = node.backup(path, data, rewrite_containers=rewrite_containers)
+            # COMMIT: one atomic catalog write publishes the version.
+            self.catalog.register(
+                path, result.version, result.recipe.referenced_containers()
+            )
+            if result.degraded:
+                self.catalog.mark_degraded(path, result.version)
+            self._persist_catalog()
+        except SimulatedCrashError:
+            # The node is dead; the open intent is the recovery record.
+            raise
+        except Exception:
+            # Still alive (e.g. retries exhausted): nothing uncommitted
+            # survives this process, so retire the intent before failing.
+            journal.close(seq)
+            raise
+        journal.close(seq)
 
         degraded = result.degraded
         reverse_report: ReverseDedupReport | None = None
@@ -303,16 +407,32 @@ class SlimStore:
             except (TransientOSSError, RetryExhaustedError):
                 degraded = True
 
-        self.catalog.register(
-            path, result.version, result.recipe.referenced_containers()
-        )
-        if compaction_report is not None:
+        # Post-maintenance catalog fix-up: compaction re-pointed the
+        # committed recipe at fresh containers, and the degraded flag may
+        # have settled either way.  Re-publish the catalog only when
+        # something actually changed.
+        catalog_dirty = False
+        if compaction_report is not None and compaction_report.sparse_containers:
+            self.catalog.update_references(
+                path, result.version, result.recipe.referenced_containers()
+            )
             self.catalog.add_garbage(
                 path, result.version, compaction_report.sparse_containers
             )
-        if degraded:
+            catalog_dirty = True
+        if degraded and not result.degraded:
             self.catalog.mark_degraded(path, result.version)
-        self._persist_catalog()
+            catalog_dirty = True
+        elif result.degraded and not degraded:
+            self.catalog.clear_degraded(path, result.version)
+            catalog_dirty = True
+        if catalog_dirty:
+            self._persist_catalog()
+        if compaction_report is not None and compaction_report.journal_seq is not None:
+            # The compaction intent outlives the pass on purpose: only
+            # once the catalog republish above is durable has the version
+            # fully converged on the compacted layout.
+            journal.close(compaction_report.journal_seq)
         return BackupReport(result, reverse_report, compaction_report, degraded)
 
     def restore(
@@ -341,14 +461,30 @@ class SlimStore:
         self, files: dict[str, bytes], run_gnode: bool = True
     ) -> tuple[str, list[BackupReport]]:
         """Back up one full-volume run: every file as its next version,
-        grouped under a snapshot id."""
+        grouped under a snapshot id.
+
+        The run is journaled as a ``snapshot`` intent whose member map
+        grows as each file commits, so a crash mid-run lets recovery
+        publish a partial manifest covering exactly the committed
+        members (each of which is individually consistent).
+        """
+        journal = self.storage.journal
         snapshot = Snapshot(self.snapshots.allocate_id())
+        seq = journal.begin("snapshot", snapshot_id=snapshot.snapshot_id, members={})
         reports = []
         for path in sorted(files):
             report = self.backup(path, files[path], run_gnode=run_gnode)
             snapshot.members[path] = report.version
             reports.append(report)
+            journal.update(
+                seq,
+                "snapshot",
+                snapshot_id=snapshot.snapshot_id,
+                members=dict(snapshot.members),
+            )
+        # COMMIT: the manifest put makes the snapshot visible.
         self.snapshots.put(snapshot)
+        journal.close(seq)
         return snapshot.snapshot_id, reports
 
     def restore_snapshot(
@@ -377,14 +513,24 @@ class SlimStore:
         for other_id in ids[1:]:
             other = self.snapshots.get(other_id)
             retained.update(other.members.items())
+        members = [
+            [path, version]
+            for path, version in sorted(snapshot.members.items())
+            if (path, version) not in retained
+        ]
+        journal = self.storage.journal
+        seq = journal.begin(
+            "delete_snapshot", snapshot_id=snapshot_id, members=members
+        )
         reclaimed = 0
-        for path, version in sorted(snapshot.members.items()):
-            if (path, version) in retained:
-                continue
+        for path, version in members:
             live = self.catalog.versions(path)
             if live and live[0] == version:
                 reclaimed += self.delete_version(path, version)
+        # COMMIT: dropping the manifest retires the snapshot; recovery
+        # re-runs the member deletes while the manifest still exists.
         self.snapshots.delete(snapshot_id)
+        journal.close(seq)
         return reclaimed
 
     def delete_version(self, path: str, version: int) -> int:
@@ -392,21 +538,39 @@ class SlimStore:
 
         Only the oldest live version of a path may be deleted (FIFO
         retention), which keeps the mark-and-sweep garbage lists valid.
+
+        Commit ordering: the collectable set is journaled, then the
+        catalog (minus the version) is re-published — the commit point —
+        and only afterwards are containers, recipe and similar-index
+        entry physically removed (all idempotent, so recovery can replay
+        them).  Under a tombstone grace the containers are entombed
+        rather than deleted, keeping concurrent restores readable.
         """
         live = self.catalog.versions(path)
         if not live or version != live[0]:
             raise VersionNotFoundError(path, version)
         collectable = self.catalog.drop_version(path, version)
+        forget = self.storage.similar_index.latest_version(path) == version
+        journal = self.storage.journal
+        seq = journal.begin(
+            "delete_version",
+            path=path,
+            version=version,
+            collectable=collectable,
+            forget_similar=forget,
+        )
+        # COMMIT: the version disappears from the published catalog.
+        self._persist_catalog()
         reclaimed = 0
         for cid in collectable:
             if self.storage.containers.exists(cid):
                 reclaimed += self.storage.containers.container_size(cid)
                 self.storage.containers.delete(cid)
         self.storage.recipes.delete_recipe(path, version)
-        if self.storage.similar_index.latest_version(path) == version:
+        if forget:
             # The newest version is being retired entirely (last one left).
             self.storage.similar_index.forget_version(path, version)
-        self._persist_catalog()
+        journal.close(seq)
         return reclaimed
 
     # --- maintenance -----------------------------------------------------------

@@ -44,6 +44,25 @@ class TransientOSSError(ReproError):
         self.reason = reason
 
 
+class SimulatedCrashError(ReproError):
+    """The node died at an OSS write (process-death fault injection).
+
+    Deliberately *not* a :class:`TransientOSSError` subclass: a crash is
+    not retryable — the retry layer and degraded-mode handlers must let
+    it propagate so the job aborts exactly where the node would have
+    died.  Recovery happens on the next attach, never in-line.
+    """
+
+    def __init__(self, op: str, bucket: str, key: str, write_index: int) -> None:
+        super().__init__(
+            f"simulated node crash at write #{write_index}: {op} oss://{bucket}/{key}"
+        )
+        self.op = op
+        self.bucket = bucket
+        self.key = key
+        self.write_index = write_index
+
+
 class RetryExhaustedError(ReproError):
     """Retries of a transiently failing OSS request ran out.
 

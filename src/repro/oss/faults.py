@@ -16,7 +16,17 @@ Two deterministic schedule controls exist beyond the per-operation rates:
   :meth:`FaultPolicy.revive` is called (models a full outage);
 * :meth:`FaultPolicy.outage` / :meth:`FaultPolicy.revive` — force the
   failure rate of selected operations to 1.0 and back (models a partial
-  outage, e.g. reads failing while writes drain).
+  outage, e.g. reads failing while writes drain);
+* :meth:`FaultPolicy.crash_after_writes` — process death: the N-th write
+  request (PUT or DELETE, zero-based) raises
+  :class:`~repro.errors.SimulatedCrashError` *before* the backend is
+  touched, so exactly N writes landed when the node died.  Unlike a
+  transient error the crash is terminal: every subsequent request on the
+  endpoint also raises, modeling a dead node, until
+  :meth:`FaultPolicy.clear_crash` (a fresh node attaching).  Iterating N
+  over ``[0, writes_seen)`` of an uncrashed probe run visits every
+  intermediate on-OSS state a job can leave behind — the crash-matrix
+  harness in the tests is built on exactly this.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import TransientOSSError
+from repro.errors import SimulatedCrashError, TransientOSSError
 from repro.sim.metrics import FaultStats
 
 #: Operations a policy can inject faults into.
@@ -62,10 +72,16 @@ class FaultPolicy:
 
     stats: FaultStats = field(default_factory=FaultStats, repr=False)
 
+    #: Operations that count as writes for crash-point scheduling.
+    WRITE_OPS = ("put", "delete")
+
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
         self._requests_seen = 0
         self._outage_ops: set[str] = set()
+        self._writes_seen = 0
+        self._crash_at_write: int | None = None
+        self._crashed_at: int | None = None
         for op in FAULT_OPS:
             rate = getattr(self, f"{op}_error_rate")
             if not 0.0 <= rate <= 1.0:
@@ -88,6 +104,40 @@ class FaultPolicy:
         self._outage_ops = set()
         self.kill_after_requests = None
 
+    def crash_after_writes(self, surviving_writes: int) -> None:
+        """Arm a crash point: the write with this zero-based index dies.
+
+        ``crash_after_writes(n)`` lets the first ``n`` write requests
+        (PUTs and DELETEs) persist and raises
+        :class:`~repro.errors.SimulatedCrashError` on write ``n`` before
+        it reaches the backend — the on-OSS state is exactly "n writes
+        landed, then the node died".  Arming resets the write counter.
+        """
+        if surviving_writes < 0:
+            raise ValueError(f"surviving_writes cannot be negative: {surviving_writes}")
+        self._writes_seen = 0
+        self._crash_at_write = surviving_writes
+        self._crashed_at = None
+
+    def clear_crash(self) -> None:
+        """Disarm the crash point and resurrect a crashed endpoint."""
+        self._crash_at_write = None
+        self._crashed_at = None
+
+    @property
+    def writes_seen(self) -> int:
+        """Write requests (PUT/DELETE) observed since the last arm/reset.
+
+        A probe run with no crash point armed measures a job's total
+        write count — the matrix the crash harness iterates over.
+        """
+        return self._writes_seen
+
+    @property
+    def has_crashed(self) -> bool:
+        """True once the armed crash point fired (until cleared)."""
+        return self._crashed_at is not None
+
     @property
     def is_killed(self) -> bool:
         """True once the kill switch has tripped (and until revived)."""
@@ -106,6 +156,21 @@ class FaultPolicy:
         :meth:`torn_write_prefix`).
         """
         self._requests_seen += 1
+        if self._crashed_at is not None:
+            # The node is dead: nothing gets through until a new node
+            # attaches (clear_crash).  Raising the crash error (not a
+            # transient) keeps retry layers from resurrecting the job.
+            self.stats.faults_injected += 1
+            self.stats.crash_faults += 1
+            raise SimulatedCrashError(op, bucket, key, self._crashed_at)
+        if op in self.WRITE_OPS:
+            write_index = self._writes_seen
+            self._writes_seen += 1
+            if self._crash_at_write is not None and write_index >= self._crash_at_write:
+                self._crashed_at = write_index
+                self.stats.faults_injected += 1
+                self.stats.crash_faults += 1
+                raise SimulatedCrashError(op, bucket, key, write_index)
         if self.is_killed or op in self._outage_ops:
             self.stats.faults_injected += 1
             if self.is_killed:

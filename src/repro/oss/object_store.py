@@ -310,10 +310,14 @@ class ObjectStorageService:
         try:
             extra = self.faults.before_request(op, bucket, key)
         except TransientOSSError:
-            self.stats.faults_injected += self.faults.stats.faults_injected - before
             self.clock.advance(self.cost_model.oss_request_latency)
             raise
-        self.stats.faults_injected += self.faults.stats.faults_injected - before
+        finally:
+            # Mirror every injected fault into the endpoint stats — a
+            # SimulatedCrashError propagates through here too (the node
+            # died; no virtual time is charged for a request that never
+            # left it).
+            self.stats.faults_injected += self.faults.stats.faults_injected - before
         return extra
 
     def _filter_read(self, data: bytes) -> bytes:

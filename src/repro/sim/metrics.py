@@ -90,6 +90,7 @@ class FaultStats:
     corrupt_reads: int = 0
     latency_spikes: int = 0
     killed_requests: int = 0
+    crash_faults: int = 0
     latency_injected_seconds: float = 0.0
 
     def snapshot(self) -> "FaultStats":

@@ -191,3 +191,180 @@ class TestContainerStore:
         store.update_meta(meta)
         store.rewrite(cid)
         assert not store.exists(cid)
+
+
+def write_container(store: ContainerStore, chunks: list[bytes]) -> int:
+    builder = store.new_builder(1 << 20)
+    fill(builder, chunks)
+    store.write(builder)
+    return builder.container_id
+
+
+class TestRevive:
+    def test_revive_flips_a_deleted_flag_back(self):
+        meta = ContainerMeta(1)
+        meta.add(ChunkLocation(b"\x01" * 20, 0, 100))
+        meta.mark_deleted(b"\x01" * 20)
+        assert meta.revive(b"\x01" * 20) is True
+        assert meta.live_chunks() == 1
+
+    def test_revive_noop_for_live_or_unknown(self):
+        meta = ContainerMeta(1)
+        meta.add(ChunkLocation(b"\x01" * 20, 0, 100))
+        assert meta.revive(b"\x01" * 20) is False
+        assert meta.revive(b"\x02" * 20) is False
+
+
+class TestTornPairQuarantine:
+    def test_data_only_pair_is_quarantined_not_live(self, oss, store):
+        cid = write_container(store, [b"a" * 64])
+        oss.delete_object("bucket", ContainerStore.META_KEY.format(cid=cid))
+
+        fresh = ContainerStore(oss, "bucket")
+        assert fresh.recover() == 0
+        assert fresh.torn_pairs == {cid: "data"}
+        assert not fresh.exists(cid)
+
+    def test_meta_only_pair_is_quarantined_not_live(self, oss, store):
+        cid = write_container(store, [b"a" * 64])
+        oss.delete_object("bucket", ContainerStore.DATA_KEY.format(cid=cid))
+
+        fresh = ContainerStore(oss, "bucket")
+        fresh.recover()
+        assert fresh.torn_pairs == {cid: "meta"}
+        assert not fresh.exists(cid)
+
+    def test_torn_ids_still_reserve_the_id_space(self, oss, store):
+        cid = write_container(store, [b"a" * 64])
+        oss.delete_object("bucket", ContainerStore.META_KEY.format(cid=cid))
+        fresh = ContainerStore(oss, "bucket")
+        fresh.recover()
+        assert fresh.peek_next_id() == cid + 1
+
+    def test_discard_torn_removes_the_remnant(self, oss, store):
+        cid = write_container(store, [b"a" * 64])
+        oss.delete_object("bucket", ContainerStore.META_KEY.format(cid=cid))
+        fresh = ContainerStore(oss, "bucket")
+        fresh.recover()
+        fresh.discard_torn(cid)
+        assert fresh.torn_pairs == {}
+        assert oss.peek_size("bucket", ContainerStore.DATA_KEY.format(cid=cid)) is None
+
+
+class TestTwoPhaseDeletion:
+    def make_store(self, oss, grace: int) -> ContainerStore:
+        return ContainerStore(oss, "bucket", grace_epochs=grace)
+
+    def test_zero_grace_deletes_immediately(self, oss):
+        store = self.make_store(oss, 0)
+        cid = write_container(store, [b"a" * 64])
+        assert store.delete(cid) is True
+        assert oss.peek_size("bucket", ContainerStore.DATA_KEY.format(cid=cid)) is None
+        assert not store.is_tombstoned(cid)
+
+    def test_grace_entombs_and_keeps_objects_readable(self, oss):
+        store = self.make_store(oss, 1)
+        payload = b"a" * 64
+        cid = write_container(store, [payload])
+        assert store.delete(cid) is True
+        assert not store.exists(cid)  # invisible to new work
+        assert store.is_tombstoned(cid)
+        # ... but both objects are still physically readable.
+        assert payload in store.read_data(cid)
+        assert store.read_meta(cid).live_chunks() == 1
+
+    def test_reap_waits_out_the_grace_epochs(self, oss):
+        store = self.make_store(oss, 2)
+        cid = write_container(store, [b"a" * 64])
+        store.delete(cid)
+        assert store.reap_expired() == (0, [])
+        store.advance_epoch()
+        assert store.reap_expired() == (0, [])
+        store.advance_epoch()
+        reclaimed, reaped = store.reap_expired()
+        assert reaped == [cid]
+        assert reclaimed == 64
+        assert oss.peek_size("bucket", ContainerStore.TOMB_KEY.format(cid=cid)) is None
+
+    def test_tombstones_and_epoch_survive_recover(self, oss):
+        store = self.make_store(oss, 3)
+        cid = write_container(store, [b"a" * 64])
+        store.advance_epoch()
+        store.delete(cid)
+
+        fresh = self.make_store(oss, 3)
+        fresh.recover()
+        assert fresh.current_epoch == 1
+        assert fresh.tombstoned_ids() == [cid]
+        assert not fresh.exists(cid)
+        assert fresh.torn_pairs == {}
+
+    def test_interrupted_reap_is_reported_as_partial(self, oss):
+        store = self.make_store(oss, 0)
+        cid = write_container(store, [b"a" * 64])
+        # Simulate a reap that crashed after the data+meta deletes but
+        # before the tombstone delete.
+        oss.put_object("bucket", ContainerStore.TOMB_KEY.format(cid=cid), b'{"epoch": 0}')
+        oss.delete_object("bucket", ContainerStore.DATA_KEY.format(cid=cid))
+        oss.delete_object("bucket", ContainerStore.META_KEY.format(cid=cid))
+
+        fresh = self.make_store(oss, 0)
+        fresh.recover()
+        assert fresh.partial_reaps == {cid}
+        fresh.finish_reap(cid)
+        assert fresh.partial_reaps == set()
+        assert oss.peek_size("bucket", ContainerStore.TOMB_KEY.format(cid=cid)) is None
+
+    def test_purge_bypasses_the_grace(self, oss):
+        store = self.make_store(oss, 5)
+        cid = write_container(store, [b"a" * 64])
+        assert store.purge(cid) is True
+        assert not store.is_tombstoned(cid)
+        assert oss.peek_size("bucket", ContainerStore.DATA_KEY.format(cid=cid)) is None
+
+
+class TestJournaledRewrite:
+    def make_journaled_store(self, oss):
+        from repro.core.journal import IntentJournal
+
+        journal = IntentJournal(oss, "bucket")
+        return ContainerStore(oss, "bucket", journal=journal), journal
+
+    def test_successful_rewrite_leaves_no_open_intent(self, oss):
+        store, journal = self.make_journaled_store(oss)
+        builder = store.new_builder(1 << 20)
+        entries = fill(builder, [b"a" * 64, b"b" * 64])
+        store.write(builder)
+        meta = store.read_meta(builder.container_id)
+        meta.mark_deleted(entries[0].fp)
+        store.update_meta(meta)
+        store.rewrite(builder.container_id)
+        assert journal.open_intents() == []
+        assert store.read_meta(builder.container_id).live_chunks() == 1
+
+    def test_complete_rewrite_rolls_forward_on_matching_sha(self, oss):
+        import hashlib
+
+        store, journal = self.make_journaled_store(oss)
+        cid = write_container(store, [b"a" * 64, b"b" * 64])
+        new_payload = b"b" * 64
+        new_meta = ContainerMeta(cid)
+        new_meta.add(ChunkLocation(fingerprint(new_payload), 0, 64))
+        # Data put landed, meta put did not (the crash window).
+        oss.put_object("bucket", ContainerStore.DATA_KEY.format(cid=cid), new_payload)
+
+        done = store.complete_rewrite(
+            cid, new_meta.to_bytes(), hashlib.sha1(new_payload).hexdigest()
+        )
+        assert done is True
+        assert store.read_meta(cid).live_chunks() == 1
+        assert store.read_data(cid) == new_payload
+
+    def test_complete_rewrite_discards_on_sha_mismatch(self, oss):
+        store, _journal = self.make_journaled_store(oss)
+        cid = write_container(store, [b"a" * 64])
+        before = store.read_meta(cid).to_bytes()
+
+        done = store.complete_rewrite(cid, b"bogus-meta", "0" * 40)
+        assert done is False
+        assert store.read_meta(cid).to_bytes() == before

@@ -105,3 +105,55 @@ def test_container_meta_roundtrip(meta):
         assert original.alias == loaded.alias
     assert restored.total_chunks() == meta.total_chunks()
     assert restored.live_bytes() == meta.live_bytes()
+
+
+#: Every (deleted, alias) flag combination a metadata entry can carry.
+_FLAG_COMBOS = [(False, False), (True, False), (False, True), (True, True)]
+
+
+@st.composite
+def flagged_metas(draw):
+    """Metas whose entries sweep explicit deleted/alias flag combos."""
+    combos = draw(
+        st.lists(st.sampled_from(_FLAG_COMBOS), min_size=1, max_size=12)
+    )
+    meta = ContainerMeta(draw(container_ids))
+    offset = 0
+    for index, (deleted, alias) in enumerate(combos):
+        size = draw(st.integers(1, 1 << 12))
+        fp = index.to_bytes(4, "big") * 5  # unique 20-byte fingerprint
+        meta.add(ChunkLocation(fp=fp, offset=offset, size=size,
+                               deleted=deleted, alias=alias))
+        offset += size
+    return meta
+
+
+@given(flagged_metas())
+@settings(max_examples=60, deadline=None)
+def test_container_meta_flag_combos_roundtrip(meta):
+    restored = ContainerMeta.from_bytes(meta.to_bytes())
+    for original, loaded in zip(meta.entries, restored.entries):
+        assert (original.deleted, original.alias) == (loaded.deleted, loaded.alias)
+    # Flag-derived accounting survives the round trip exactly.
+    assert restored.live_chunks() == meta.live_chunks()
+    assert restored.live_bytes() == meta.live_bytes()
+    assert restored.stale_fraction() == meta.stale_fraction()
+    assert len(restored.live_lookup_entries()) == len(meta.live_lookup_entries())
+
+
+@given(flagged_metas())
+@settings(max_examples=60, deadline=None)
+def test_mark_deleted_then_revive_roundtrips_through_bytes(meta):
+    # Deleting then reviving every live primary chunk — with a
+    # serialisation round trip in between — restores the original flags.
+    live = [entry.fp for entry in meta.live_entries()]
+    for fp in live:
+        assert meta.mark_deleted(fp)
+    reloaded = ContainerMeta.from_bytes(meta.to_bytes())
+    for fp in live:
+        assert reloaded.revive(fp)
+    final = ContainerMeta.from_bytes(reloaded.to_bytes())
+    assert final.live_chunks() == len(live)
+    for fp in live:
+        entry = final.find(fp)
+        assert entry is not None and not entry.deleted

@@ -133,3 +133,28 @@ class TestDeepClean:
             assert dangling_before > 0  # the sweep actually removed some
         # The surviving version still restores.
         assert store.restore("f", 1).data is not None
+
+
+class TestReservedIds:
+    def test_reserved_ids_advance_the_sequence(self, oss):
+        store = SnapshotStore(oss, "b")
+        store.put(Snapshot("00000000", {"f": 0}))
+        fresh = SnapshotStore(oss, "b")
+        # A journaled run claimed id 00000001 but crashed before
+        # publishing its manifest: a new run must not reuse it.
+        fresh.recover(reserved_ids=["00000001"])
+        assert fresh.allocate_id() == "00000002"
+
+    def test_recover_without_reservations_matches_manifests(self, oss):
+        store = SnapshotStore(oss, "b")
+        store.put(Snapshot("00000003", {"f": 0}))
+        fresh = SnapshotStore(oss, "b")
+        assert fresh.recover() == 1
+        assert fresh.allocate_id() == "00000004"
+
+    def test_non_numeric_keys_and_reservations_are_skipped(self, oss):
+        oss.create_bucket("b")
+        oss.put_object("b", SnapshotStore.PREFIX + "README", b"x")
+        store = SnapshotStore(oss, "b")
+        assert store.recover(reserved_ids=["latest"]) == 0
+        assert store.allocate_id() == "00000000"

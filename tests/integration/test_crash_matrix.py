@@ -1,0 +1,257 @@
+"""The crash matrix: kill the node at *every* OSS write, then recover.
+
+The headline crash-consistency harness.  For each scenario it first runs
+the job unimpeded against a probe store to count its OSS writes, then
+replays the job from the identical base state once per write index with
+``FaultPolicy.crash_after_writes(i)`` armed — the node dies exactly at
+write *i* — reattaches a fresh store (running attach-time recovery) and
+asserts the crash-consistency contract:
+
+* every committed version restores byte-identically;
+* no version is partially visible (catalog, recipe and similar index
+  agree on exactly the committed set);
+* zero orphaned bytes: every live container is referenced by a committed
+  version, the journal is empty, no torn pairs survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import RecoveryManager
+from repro.core.system import SlimStore
+from repro.errors import SimulatedCrashError, VersionNotFoundError
+from repro.oss.faults import FaultPolicy
+from repro.oss.object_store import ObjectStorageService
+from tests.conftest import SMALL_CONFIG, mutate, random_bytes
+
+pytestmark = pytest.mark.slow
+
+
+def clone_state(oss: ObjectStorageService) -> dict[str, dict[str, bytes]]:
+    """Deep-copy every bucket's objects (the fork point of the matrix)."""
+    return {
+        bucket: dict(oss._backend(bucket)._objects)
+        for bucket in oss.bucket_names()
+    }
+
+
+def attach(state: dict[str, dict[str, bytes]] | None = None,
+           config=SMALL_CONFIG) -> SlimStore:
+    """A fresh SlimStore over a fresh OSS seeded with ``state``."""
+    oss = ObjectStorageService()
+    store = SlimStore(config, oss)
+    if state is not None:
+        for bucket, objects in state.items():
+            oss.create_bucket(bucket)
+            oss._backend(bucket)._objects = dict(objects)
+        store.recover()
+    return store
+
+
+def reattach(store: SlimStore) -> SlimStore:
+    """Attach a new node to the (possibly crashed) store's OSS state."""
+    store.oss.set_fault_policy(None)
+    survivor = SlimStore(store.config, store.oss)
+    survivor.recover()
+    return survivor
+
+
+def count_writes(base_state, action) -> int:
+    """Probe run: how many OSS writes does ``action`` perform?"""
+    probe = attach(base_state)
+    policy = FaultPolicy()
+    probe.oss.set_fault_policy(policy)
+    action(probe)
+    probe.oss.set_fault_policy(None)
+    return policy.writes_seen
+
+
+def run_matrix(base_state, action, verify) -> int:
+    """Crash ``action`` at every write index; recover; verify. Returns N."""
+    total_writes = count_writes(base_state, action)
+    assert total_writes > 0
+    for crash_at in range(total_writes):
+        store = attach(base_state)
+        policy = FaultPolicy()
+        policy.crash_after_writes(crash_at)
+        store.oss.set_fault_policy(policy)
+        with pytest.raises(SimulatedCrashError):
+            action(store)
+        survivor = reattach(store)
+        verify(survivor, crash_at)
+    return total_writes
+
+
+def assert_zero_debris(survivor: SlimStore) -> None:
+    """Journal empty, no torn pairs, no orphaned bytes, index coherent."""
+    inspection = RecoveryManager(survivor).inspect()
+    assert inspection.clean, f"repository dirty after recovery: {inspection}"
+    live = set(survivor.storage.containers.container_ids())
+    referenced = survivor.catalog.live_container_ids()
+    orphans = live - referenced
+    assert not orphans, f"orphaned containers survived recovery: {orphans}"
+    recovery = survivor.last_recovery
+    if recovery is not None:
+        assert not recovery.torn_damaged
+
+
+def assert_exactly_visible(survivor: SlimStore, path: str,
+                           versions: list[int]) -> None:
+    """The committed version set is visible atomically everywhere."""
+    assert survivor.versions(path) == versions
+    latest = survivor.storage.similar_index.latest_version(path)
+    assert latest == (versions[-1] if versions else None)
+    next_version = (versions[-1] + 1) if versions else 0
+    with pytest.raises(VersionNotFoundError):
+        survivor.storage.recipes.get_recipe(path, next_version)
+
+
+class TestBackupCrashMatrix:
+    """Crash at every write of a full backup + reverse dedup + compaction."""
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        """Age a version chain until the *next* backup's maintenance pass
+        provably compacts: the matrix then sweeps a backup whose write
+        stream spans online dedup, the commit, reverse dedup and the
+        full compaction schedule."""
+        rng = np.random.default_rng(31337)
+        store = attach()
+        data = random_bytes(rng, 256 * 1024)
+        store.backup("f", data)
+        payloads = [data]
+        for _ in range(12):
+            data = mutate(rng, data, runs=4, run_bytes=16 * 1024)
+            state = clone_state(store.oss)
+            probe = attach(state)
+            report = probe.backup("f", data)
+            if report.compaction is not None and report.compaction.sparse_containers:
+                return state, list(payloads), data
+            store.backup("f", data)
+            payloads.append(data)
+        pytest.fail("version chain never aged into sparse compaction")
+
+    def test_probe_run_exercises_compaction(self, base):
+        base_state, _payloads, next_payload = base
+        probe = attach(base_state)
+        report = probe.backup("f", next_payload)
+        assert report.compaction is not None
+        assert report.compaction.sparse_containers
+        assert report.compaction.chunks_moved > 0
+        assert report.reverse_dedup is not None
+        assert_zero_debris(probe)
+
+    def test_crash_at_every_write_index(self, base):
+        base_state, payloads, next_payload = base
+        committed = list(range(len(payloads)))
+        extended = committed + [len(payloads)]
+        contents = payloads + [next_payload]
+
+        def action(store: SlimStore) -> None:
+            store.backup("f", next_payload)
+
+        def verify(survivor: SlimStore, crash_at: int) -> None:
+            versions = survivor.versions("f")
+            assert versions in (committed, extended), (crash_at, versions)
+            assert_exactly_visible(survivor, "f", versions)
+            for version in versions:
+                assert survivor.restore("f", version).data == contents[version], (
+                    crash_at,
+                    version,
+                )
+            assert_zero_debris(survivor)
+
+        total = run_matrix(base_state, action, verify)
+        # The matrix must be wide enough to cross the backup commit, the
+        # reverse-dedup pass and the compaction schedule.
+        assert total > 20
+
+
+class TestDeleteCrashMatrix:
+    """Crash at every write of a version deletion (sweep + journal)."""
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        rng = np.random.default_rng(24680)
+        chain = [random_bytes(rng, 96 * 1024)]
+        data = bytearray(chain[0])
+        data[10_000:14_000] = random_bytes(rng, 4_000)
+        chain.append(bytes(data))
+        data = bytearray(chain[1])
+        data[50_000:58_000] = random_bytes(rng, 8_000)
+        chain.append(bytes(data))
+        store = attach()
+        for payload in chain:
+            store.backup("f", payload)
+        return clone_state(store.oss), chain
+
+    def test_crash_at_every_write_index(self, base):
+        base_state, chain = base
+
+        def action(store: SlimStore) -> None:
+            store.delete_version("f", 0)
+
+        def verify(survivor: SlimStore, crash_at: int) -> None:
+            versions = survivor.versions("f")
+            assert versions in ([0, 1, 2], [1, 2]), (crash_at, versions)
+            for version in versions:
+                assert survivor.restore("f", version).data == chain[version]
+            assert_zero_debris(survivor)
+            # Whatever state the crash left, the delete (or its replay)
+            # can proceed afterwards and the survivors stay intact.
+            if versions == [0, 1, 2]:
+                survivor.delete_version("f", 0)
+            for version in (1, 2):
+                assert survivor.restore("f", version).data == chain[version]
+
+        run_matrix(base_state, action, verify)
+
+
+class TestSnapshotCrashMatrix:
+    """Crash at every write of a two-file snapshot run (gnode off: the
+    maintenance writes have their own matrix above)."""
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        rng = np.random.default_rng(13579)
+        files = {
+            "vol/a": random_bytes(rng, 48 * 1024),
+            "vol/b": random_bytes(rng, 48 * 1024),
+        }
+        store = attach()
+        return clone_state(store.oss), files
+
+    def test_crash_at_every_write_index(self, base):
+        base_state, files = base
+
+        def action(store: SlimStore) -> None:
+            store.backup_snapshot(files, run_gnode=False)
+
+        def verify(survivor: SlimStore, crash_at: int) -> None:
+            for path, payload in files.items():
+                versions = survivor.versions(path)
+                assert versions in ([], [0]), (crash_at, path)
+                assert_exactly_visible(survivor, path, versions)
+                if versions:
+                    assert survivor.restore(path, 0).data == payload
+            # A published (possibly partial) manifest names only
+            # committed, restorable members.
+            published = set(survivor.snapshots.list_ids())
+            for snapshot_id in published:
+                snapshot = survivor.snapshots.get(snapshot_id)
+                assert snapshot.members
+                for path, version in snapshot.members.items():
+                    assert version in survivor.versions(path)
+                    assert survivor.restore(path, version).data == files[path]
+            assert_zero_debris(survivor)
+            # The snapshot id sequence never collides with a published
+            # manifest (a crash before the journal entry landed may
+            # recycle the dead run's id, which was never visible).
+            follow_up, _ = survivor.backup_snapshot(
+                {"vol/c": b"later run"}, run_gnode=False
+            )
+            assert follow_up not in published
+
+        run_matrix(base_state, action, verify)

@@ -1,0 +1,254 @@
+"""Attach-after-crash recovery windows and the deletion grace epoch.
+
+The crash matrix (``test_crash_matrix``) sweeps *every* write index; this
+suite pins the interesting windows by name — uncommitted backup discard,
+committed backup roll-forward, partial snapshot publish — and asserts
+the recovery report labels them correctly.  It also covers the
+two-phase-deletion grace epoch: a reader that planned a restore against
+pre-maintenance metadata keeps reading entombed containers byte-for-byte
+until the grace expires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.system import SlimStore
+from repro.errors import ObjectNotFoundError, SimulatedCrashError
+from repro.oss.faults import FaultPolicy
+from tests.conftest import SMALL_CONFIG, random_bytes
+from tests.integration.test_crash_matrix import (
+    attach,
+    clone_state,
+    count_writes,
+    reattach,
+)
+
+DATA_KEY = "containers/{cid:012d}.data"
+META_KEY = "containers/{cid:012d}.meta"
+
+
+def crash_at(state, action, index: int) -> SlimStore:
+    """Replay ``action`` from ``state``, crash at write ``index``, reattach."""
+    store = attach(state)
+    policy = FaultPolicy()
+    policy.crash_after_writes(index)
+    store.oss.set_fault_policy(policy)
+    with pytest.raises(SimulatedCrashError):
+        action(store)
+    return reattach(store)
+
+
+class TestBackupWindows:
+    @pytest.fixture()
+    def base(self, rng):
+        d0 = random_bytes(rng, 96 * 1024)
+        d1 = random_bytes(rng, 96 * 1024)
+        store = attach()
+        store.backup("f", d0, run_gnode=False)
+        return clone_state(store.oss), d0, d1
+
+    @staticmethod
+    def _backup(d1):
+        return lambda store: store.backup("f", d1, run_gnode=False)
+
+    def test_crash_before_first_write_leaves_repository_clean(self, base):
+        state, d0, d1 = base
+        survivor = crash_at(state, self._backup(d1), 0)
+        # Write 0 is the journal begin itself: nothing landed, so the
+        # reattach finds no evidence and runs no recovery at all.
+        assert survivor.last_recovery is None
+        assert survivor.versions("f") == [0]
+        assert survivor.restore("f", 0).data == d0
+
+    def test_uncommitted_backup_is_discarded(self, base):
+        state, d0, d1 = base
+        action = self._backup(d1)
+        total = count_writes(state, action)
+        # Crash at the catalog put (second-to-last write): the recipe and
+        # similar-index registration landed but the commit did not, so
+        # recovery must unwind them and discard the version.
+        survivor = crash_at(state, action, total - 2)
+        recovery = survivor.last_recovery
+        assert recovery is not None
+        assert any(k == "backup" for _s, k in recovery.discarded)
+        assert not any(k == "backup" for _s, k in recovery.rolled_forward)
+        assert survivor.versions("f") == [0]
+        assert survivor.restore("f", 0).data == d0
+        # The discarded attempt's containers were orphan-collected.
+        live = set(survivor.storage.containers.container_ids())
+        assert live <= survivor.catalog.live_container_ids()
+
+    def test_version_sequence_continues_after_discard(self, base):
+        state, d0, d1 = base
+        survivor = crash_at(state, self._backup(d1), 2)
+        report = survivor.backup("f", d1, run_gnode=False)
+        assert report.version == 1
+        assert survivor.versions("f") == [0, 1]
+        assert survivor.restore("f", 0).data == d0
+        assert survivor.restore("f", 1).data == d1
+
+    def test_committed_backup_missing_only_close_rolls_forward(self, base):
+        state, d0, d1 = base
+        action = self._backup(d1)
+        total = count_writes(state, action)
+        # The very last write of an un-maintained backup is the journal
+        # close (deletes count as writes): crashing there leaves a fully
+        # committed version with only its intent outstanding.
+        survivor = crash_at(state, action, total - 1)
+        recovery = survivor.last_recovery
+        assert recovery is not None
+        assert any(k == "backup" for _s, k in recovery.rolled_forward)
+        assert not any(k == "backup" for _s, k in recovery.discarded)
+        assert survivor.versions("f") == [0, 1]
+        assert survivor.restore("f", 1).data == d1
+
+
+class TestSnapshotPartialPublish:
+    def test_partial_manifest_covers_exactly_the_committed_members(self, rng):
+        files = {
+            "vol/a": random_bytes(rng, 48 * 1024),
+            "vol/b": random_bytes(rng, 48 * 1024),
+        }
+        store = attach()
+        state = clone_state(store.oss)
+
+        def action(s: SlimStore) -> None:
+            s.backup_snapshot(files, run_gnode=False)
+
+        total = count_writes(state, action)
+        found_partial = False
+        for index in range(1, total):
+            survivor = crash_at(state, action, index)
+            a_done = survivor.versions("vol/a") == [0]
+            b_done = survivor.versions("vol/b") == [0]
+            if not (a_done and not b_done):
+                continue
+            # vol/a committed but vol/b did not.  Two correct outcomes:
+            # the intent had recorded vol/a (the journal update landed)
+            # and recovery published a partial manifest naming it alone,
+            # or the crash beat the journal update and no manifest exists
+            # (the committed member simply belongs to no snapshot).
+            ids = survivor.snapshots.list_ids()
+            if not ids:
+                continue
+            found_partial = True
+            assert len(ids) == 1
+            snapshot = survivor.snapshots.get(ids[0])
+            assert snapshot.members == {"vol/a": 0}
+            assert survivor.restore_snapshot(ids[0]) == {"vol/a": files["vol/a"]}
+            break
+        assert found_partial, "no crash index hit the partial-publish window"
+
+
+class TestScrubReportsTornDamage:
+    def test_referenced_torn_pair_survives_recovery_and_fails_scrub(self, rng):
+        """Losing the meta of a referenced container is data loss the
+        journal cannot explain: recovery quarantines it (never deletes),
+        and scrub — whose container pass cannot even see the quarantined
+        id — reports it explicitly."""
+        store = attach()
+        store.backup("f", random_bytes(rng, 64 * 1024), run_gnode=False)
+        cid = min(store.storage.recipes.get_recipe("f", 0).referenced_containers())
+        store.oss.delete_object("slimstore", META_KEY.format(cid=cid))
+
+        survivor = SlimStore(SMALL_CONFIG, store.oss)
+        survivor.recover()
+        assert survivor.last_recovery is not None
+        assert cid in survivor.last_recovery.torn_damaged
+
+        report = survivor.scrub()
+        assert report.torn_containers == [cid]
+        assert not report.clean
+        # The data object was NOT garbage-collected: scrub territory.
+        assert (
+            survivor.oss.peek_size("slimstore", DATA_KEY.format(cid=cid))
+            is not None
+        )
+
+
+GRACE_CONFIG = replace(SMALL_CONFIG, tombstone_grace_epochs=1)
+
+
+class TestDeletionGraceEpoch:
+    """A stale reader keeps its planned reads for a full grace epoch."""
+
+    def _two_distinct_versions(self, rng, config):
+        writer = attach(config=config)
+        d0 = random_bytes(rng, 96 * 1024)
+        d1 = random_bytes(rng, 96 * 1024)
+        writer.backup("f", d0, run_gnode=False)
+        writer.backup("f", d1, run_gnode=False)
+        return writer, d0
+
+    def _plan_reads(self, reader: SlimStore, path: str, version: int):
+        """Resolve version's bytes to (cid, offset, size) the way a
+        restore planner does — against the reader's current metadata."""
+        recipe = reader.storage.recipes.get_recipe(path, version)
+        plan = []
+        for record in recipe.all_records():
+            meta = reader.storage.containers.read_meta(record.container_id)
+            entry = meta.find(record.fp)
+            assert entry is not None
+            plan.append((record.container_id, entry.offset, entry.size))
+        return plan
+
+    def _read_back(self, reader: SlimStore, plan) -> bytes:
+        out = bytearray()
+        for cid, offset, size in plan:
+            data = reader.oss.get_object("slimstore", DATA_KEY.format(cid=cid))
+            out += data[offset : offset + size]
+        return bytes(out)
+
+    def test_stale_reader_survives_version_delete_within_grace(self, rng):
+        writer, d0 = self._two_distinct_versions(rng, GRACE_CONFIG)
+        reader = SlimStore(GRACE_CONFIG, writer.oss)
+        reader.recover()
+        plan = self._plan_reads(reader, "f", 0)
+        cids = sorted({cid for cid, _o, _s in plan})
+
+        writer.delete_version("f", 0)
+        # v0's exclusive containers are entombed, not deleted...
+        assert set(writer.storage.containers.tombstoned_ids()) >= set(cids)
+        # ...so the reader's in-flight restore completes byte-identically.
+        assert self._read_back(reader, plan) == d0
+
+        # The tombstones survive exactly one deep_clean (grace epoch)...
+        writer.gnode.deep_clean()
+        assert self._read_back(reader, plan) == d0
+        # ...and the next sweep reaps the bytes for real.
+        writer.gnode.deep_clean()
+        with pytest.raises(ObjectNotFoundError):
+            self._read_back(reader, plan)
+        assert writer.storage.containers.tombstoned_ids() == []
+
+    def test_grace_zero_deletes_out_from_under_the_reader(self, rng):
+        writer, _d0 = self._two_distinct_versions(rng, SMALL_CONFIG)
+        reader = SlimStore(SMALL_CONFIG, writer.oss)
+        reader.recover()
+        plan = self._plan_reads(reader, "f", 0)
+
+        writer.delete_version("f", 0)
+        # The seed behaviour (grace 0): the planned reads break mid-restore.
+        with pytest.raises(ObjectNotFoundError):
+            self._read_back(reader, plan)
+
+    def test_tombstones_survive_reattach(self, rng):
+        writer, d0 = self._two_distinct_versions(rng, GRACE_CONFIG)
+        reader = SlimStore(GRACE_CONFIG, writer.oss)
+        reader.recover()
+        plan = self._plan_reads(reader, "f", 0)
+        writer.delete_version("f", 0)
+        tombstoned = writer.storage.containers.tombstoned_ids()
+        assert tombstoned
+
+        # A freshly attached node sees the same grace bookkeeping and
+        # recovery does NOT treat in-grace containers as debris.
+        fresh = SlimStore(GRACE_CONFIG, writer.oss)
+        fresh.recover()
+        assert fresh.storage.containers.tombstoned_ids() == tombstoned
+        assert fresh.last_recovery is None
+        assert self._read_back(fresh, plan) == d0

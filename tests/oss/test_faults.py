@@ -268,3 +268,82 @@ class TestRetryingObjectStore:
         with pytest.raises(ObjectNotFoundError):
             client.get_object("b", "missing")
         assert client.retry_stats.retries == 0
+
+
+class TestCrashPoints:
+    def test_crash_fires_at_the_armed_write_index(self):
+        from repro.errors import SimulatedCrashError
+
+        policy = FaultPolicy()
+        store = make_store(policy)
+        policy.crash_after_writes(2)
+        store.put_object("b", "k0", b"a")
+        store.put_object("b", "k1", b"b")
+        with pytest.raises(SimulatedCrashError) as excinfo:
+            store.put_object("b", "k2", b"c")
+        assert excinfo.value.write_index == 2
+        # The crashing write never reached the backend.
+        assert store.peek_size("b", "k2") is None
+        assert store.peek_size("b", "k1") == 1
+
+    def test_deletes_count_as_writes(self):
+        from repro.errors import SimulatedCrashError
+
+        policy = FaultPolicy()
+        store = make_store(policy)
+        store.put_object("b", "victim", b"x")
+        policy.crash_after_writes(0)
+        with pytest.raises(SimulatedCrashError):
+            store.delete_object("b", "victim")
+        assert store.peek_size("b", "victim") == 1
+
+    def test_dead_node_fails_every_subsequent_request(self):
+        from repro.errors import SimulatedCrashError
+
+        policy = FaultPolicy()
+        store = make_store(policy)
+        store.put_object("b", "k", b"x")
+        policy.crash_after_writes(0)
+        with pytest.raises(SimulatedCrashError):
+            store.put_object("b", "k2", b"y")
+        assert policy.has_crashed
+        # Reads die too: the process is gone, not just one write.
+        with pytest.raises(SimulatedCrashError):
+            store.get_object("b", "k")
+        policy.clear_crash()
+        assert store.get_object("b", "k") == b"x"
+
+    def test_crash_is_not_a_transient_error(self):
+        from repro.errors import SimulatedCrashError
+
+        policy = FaultPolicy()
+        store = make_store(policy)
+        client = RetryingObjectStore(store, RetryPolicy(max_attempts=5))
+        policy.crash_after_writes(0)
+        # The retry layer must not absorb node death and retry into it.
+        assert not issubclass(SimulatedCrashError, TransientOSSError)
+        with pytest.raises(SimulatedCrashError):
+            client.put_object("b", "k", b"x")
+        assert client.retry_stats.retries == 0
+
+    def test_probe_run_counts_writes_without_crashing(self):
+        policy = FaultPolicy()
+        store = make_store(policy)
+        store.put_object("b", "k0", b"a")
+        store.get_object("b", "k0")  # reads do not advance the write index
+        store.delete_object("b", "k0")
+        assert policy.writes_seen == 2
+        assert not policy.has_crashed
+
+    def test_crash_does_not_charge_virtual_time(self):
+        from repro.errors import SimulatedCrashError
+
+        policy = FaultPolicy()
+        store = make_store(policy)
+        policy.crash_after_writes(0)
+        before = store.clock.now
+        with pytest.raises(SimulatedCrashError):
+            store.put_object("b", "k", b"x")
+        assert store.clock.now == before
+        assert policy.stats.crash_faults == 1
+        assert store.stats.faults_injected == 1

@@ -127,3 +127,47 @@ class TestClusterIndexContention:
         spec = JobSpec.from_backup_result(_Result())
         assert spec.index_lookups == 2
         assert spec.cpu_seconds == 0.25
+
+
+class TestCrashModel:
+    """Node deaths mid-job: wasted work + recovery, never lost jobs."""
+
+    def _job(self) -> JobSpec:
+        return JobSpec(logical_bytes=MB, cpu_seconds=1.0, network_bytes=0)
+
+    def test_crash_adds_wasted_and_recovery_time_exactly(self):
+        model = CostModel()
+        cluster = ClusterSimulator(1, model, slots_per_node=1)
+        baseline = cluster.run([self._job()]).makespan_seconds
+        report = cluster.run([self._job()], crashes={0: 0.5})
+        # Half the job wasted, one recovery scan, then the full retry.
+        expected = 0.5 * baseline + 3 * model.oss_request_latency + baseline
+        assert report.makespan_seconds == pytest.approx(expected)
+        assert report.crashes_simulated == 1
+        assert report.wasted_seconds == pytest.approx(0.5 * baseline)
+        assert report.recovery_seconds_total == pytest.approx(
+            3 * model.oss_request_latency
+        )
+        # The job still completes exactly once.
+        assert len(report.completion_times) == 1
+
+    def test_explicit_recovery_cost_and_multiple_crashes(self):
+        cluster = ClusterSimulator(2, CostModel(), slots_per_node=1)
+        jobs = [self._job() for _ in range(4)]
+        report = cluster.run(
+            jobs, crashes={0: 0.25, 3: 0.75}, recovery_seconds=2.0
+        )
+        assert report.crashes_simulated == 2
+        assert report.recovery_seconds_total == pytest.approx(4.0)
+        assert len(report.completion_times) == len(jobs)
+        clean = cluster.run(jobs).makespan_seconds
+        assert report.makespan_seconds > clean
+
+    def test_crash_arguments_validated(self):
+        cluster = ClusterSimulator(1, CostModel())
+        with pytest.raises(ValueError):
+            cluster.run([self._job()], crashes={1: 0.5})
+        with pytest.raises(ValueError):
+            cluster.run([self._job()], crashes={0: 1.0})
+        with pytest.raises(ValueError):
+            cluster.run([self._job()], crashes={0: 0.0})

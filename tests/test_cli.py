@@ -1,0 +1,83 @@
+"""CLI smoke tests: the durable on-disk repository and ``repro fsck``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main, open_repository
+from tests.conftest import random_bytes
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(97531)
+
+
+def test_backup_restore_roundtrip(tmp_path, rng):
+    payload = random_bytes(rng, 64 * 1024)
+    source = tmp_path / "accounts.tbl"
+    source.write_bytes(payload)
+    repo = tmp_path / "repo"
+
+    assert main(["backup", str(repo), str(source)]) == 0
+    out = tmp_path / "restored.tbl"
+    assert main(["restore", str(repo), str(source), "--output", str(out)]) == 0
+    assert out.read_bytes() == payload
+
+
+class TestFsck:
+    def test_clean_repository_exits_zero(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        store = open_repository(repo)
+        store.backup("f", random_bytes(rng, 32 * 1024))
+
+        assert main(["fsck", str(repo)]) == 0
+        assert "repository is consistent" in capsys.readouterr().out
+
+    def test_open_intent_fails_without_repair(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        store = open_repository(repo)
+        store.backup("f", random_bytes(rng, 32 * 1024))
+        # Abandon an intent the way a crashed process would.
+        store.storage.journal.begin(
+            "backup", path="g", watermark=store.storage.containers.peek_next_id()
+        )
+
+        assert main(["fsck", str(repo)]) == 1
+        captured = capsys.readouterr()
+        assert "1 open intents" in captured.out
+        assert "OPEN intent" in captured.err
+        assert "--repair" in captured.err
+
+    def test_repair_recovers_and_fsck_comes_back_clean(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        payload = random_bytes(rng, 32 * 1024)
+        store = open_repository(repo)
+        store.backup("f", payload)
+        store.storage.journal.begin(
+            "backup", path="g", watermark=store.storage.containers.peek_next_id()
+        )
+
+        assert main(["fsck", str(repo), "--repair"]) == 0
+        assert "repository recovered" in capsys.readouterr().out
+        assert main(["fsck", str(repo)]) == 0
+
+        # The committed version survived the repair.
+        fresh = open_repository(repo)
+        assert fresh.restore("f", 0).data == payload
+
+    def test_ordinary_reopen_self_heals(self, tmp_path, rng):
+        repo = tmp_path / "repo"
+        payload = random_bytes(rng, 32 * 1024)
+        store = open_repository(repo)
+        store.backup("f", payload)
+        store.storage.journal.begin(
+            "backup", path="g", watermark=store.storage.containers.peek_next_id()
+        )
+
+        # Any non-fsck command attaches with recovery enabled.
+        fresh = open_repository(repo)
+        assert fresh.last_recovery is not None
+        assert fresh.storage.journal.open_intents() == []
+        assert fresh.restore("f", 0).data == payload
