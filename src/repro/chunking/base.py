@@ -46,16 +46,26 @@ class ChunkerParams:
 
 @dataclass(frozen=True)
 class RawChunk:
-    """One cut chunk: its position in the stream and its payload view."""
+    """One cut chunk: its position in the stream and its payload view.
+
+    ``data`` is a zero-copy :class:`memoryview` slice of the chunked
+    buffer (hashing, container packing and ``bytes.join`` all accept
+    buffer objects directly); call :meth:`tobytes` only when an owning
+    copy is genuinely needed.
+    """
 
     start: int
     end: int
-    data: bytes
+    data: bytes | memoryview
 
     @property
     def size(self) -> int:
         """Chunk length in bytes."""
         return self.end - self.start
+
+    def tobytes(self) -> bytes:
+        """An owning ``bytes`` copy of the payload."""
+        return bytes(self.data)
 
 
 class BoundarySet:
@@ -154,13 +164,20 @@ class Chunker(ABC):
         """Precompute every hash-condition position in ``data``."""
 
     def chunk(self, data: bytes) -> list[RawChunk]:
-        """Cut ``data`` into chunks by repeatedly applying ``next_cut``."""
+        """Cut ``data`` into chunks by repeatedly applying ``next_cut``.
+
+        Payloads are zero-copy ``memoryview`` slices of ``data`` — the
+        hot loop never duplicates the stream (the per-chunk ``bytes``
+        copy used to dominate allocation; see the zero-copy
+        microbenchmark under ``benchmarks/``).
+        """
         boundary_set = self.boundaries(data)
+        view = memoryview(data)
         chunks: list[RawChunk] = []
         start = 0
         while start < len(data):
             end = boundary_set.next_cut(start)
-            chunks.append(RawChunk(start, end, bytes(data[start:end])))
+            chunks.append(RawChunk(start, end, view[start:end]))
             start = end
         return chunks
 

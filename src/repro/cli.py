@@ -7,6 +7,7 @@ The repository is a directory holding the simulated OSS buckets as files
 Usage::
 
     python -m repro backup  REPO FILE [FILE...]   [--prefix P]
+                            [--ingest-segments N] [--flush-buffers N]
     python -m repro restore REPO PATH             [--version N] [--output F]
     python -m repro versions REPO [PATH]
     python -m repro delete  REPO PATH VERSION
@@ -79,11 +80,15 @@ def open_repository(
     repo_dir: str | Path,
     index_shards: int | None = None,
     run_recovery: bool = True,
+    config_overrides: dict | None = None,
 ) -> SlimStore:
     """Open (or create) a durable repository under ``repo_dir``.
 
     ``run_recovery=False`` attaches without resolving interrupted jobs,
     so ``repro fsck`` can report the evidence before anything is fixed.
+    ``config_overrides`` applies per-invocation settings (the ingest
+    pipeline knobs) on top of the repo's pinned configuration; these are
+    run-time tunables, never persisted repository state.
     """
     root = Path(repo_dir)
     root.mkdir(parents=True, exist_ok=True)
@@ -91,14 +96,29 @@ def open_repository(
     oss = ObjectStorageService(
         backend_factory=lambda bucket: FilesystemBackend(root / bucket)
     )
-    config = replace(SlimStoreConfig(), index_shard_count=shard_count)
+    config = replace(
+        SlimStoreConfig(),
+        index_shard_count=shard_count,
+        **(config_overrides or {}),
+    )
     store = SlimStore(config, oss)
     store.recover(run_recovery=run_recovery)
     return store
 
 
 def _cmd_backup(args: argparse.Namespace) -> int:
-    store = open_repository(args.repo, index_shards=args.index_shards)
+    overrides: dict = {}
+    if args.ingest_segments is not None or args.flush_buffers is not None:
+        # Either knob opts the job into the event-driven ingest pipeline;
+        # the other keeps its config default.
+        overrides["ingest_pipeline"] = True
+        if args.ingest_segments is not None:
+            overrides["ingest_segments"] = args.ingest_segments
+        if args.flush_buffers is not None:
+            overrides["flush_buffers"] = args.flush_buffers
+    store = open_repository(
+        args.repo, index_shards=args.index_shards, config_overrides=overrides
+    )
     for file_name in args.files:
         source = Path(file_name)
         if not source.is_file():
@@ -112,6 +132,18 @@ def _cmd_backup(args: argparse.Namespace) -> int:
             f"{result.logical_bytes} bytes, dedup {result.dedup_ratio:.1%}, "
             f"{result.counters.get('containers_written')} containers"
         )
+        stats = report.pipeline
+        if stats is not None:
+            print(
+                f"  pipeline: {result.elapsed_seconds * 1000:.1f} ms virtual "
+                f"({result.throughput_mb_s:.1f} MB/s, closed-form "
+                f"{result.closed_form_elapsed_seconds * 1000:.1f} ms), "
+                f"{stats.chunk_stall_count} chunk stalls, "
+                f"{stats.flush_stall_count} flush stalls, "
+                f"{result.counters.get('ingest_index_batches')} index batches "
+                f"({result.counters.get('ingest_index_keys')} keys), "
+                f"{result.intra_file_dup_hits} memo hits"
+            )
     return 0
 
 
@@ -280,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
     backup.add_argument("--prefix", default="", help="logical path prefix")
     backup.add_argument("--index-shards", type=int, default=None,
                         help="global-index shard count (fixed at repo creation)")
+    backup.add_argument("--ingest-segments", type=int, default=None,
+                        help="enable the pipelined ingest path with this many "
+                             "extra segments of chunking look-ahead")
+    backup.add_argument("--flush-buffers", type=int, default=None,
+                        help="extra in-flight container flush buffers "
+                             "(1 = double buffering; implies the pipeline)")
     backup.set_defaults(handler=_cmd_backup)
 
     restore = commands.add_parser("restore", help="restore a backup version")

@@ -111,6 +111,21 @@ class SlimStoreConfig:
     #: slowest shard, not the sum).
     gdedup_parallel_shards: bool = True
 
+    # --- ingest pipeline -------------------------------------------------------
+    #: Event-driven segment-parallel ingest timing model: chunking runs
+    #: ahead of classification, per-segment index probes are Bloom
+    #: prefiltered and batched into modelled ``get_many`` round trips, and
+    #: container flushes double-buffer against the next segment's CPU.
+    #: Off by default: the serial accounting stays the baseline.
+    ingest_pipeline: bool = False
+    #: Extra segments the chunk/fingerprint stage may run ahead of the
+    #: lookup stage (its look-ahead window).  0 = strictly serial: the
+    #: next segment is chunked only after the previous one is classified.
+    ingest_segments: int = 2
+    #: Extra in-flight container upload buffers.  0 = a filling container
+    #: blocks the job for its whole upload; 1 = classic double buffering.
+    flush_buffers: int = 1
+
     # --- cluster --------------------------------------------------------------------
     #: Number of L-nodes available (paper: six ECS instances).
     lnode_count: int = 6
@@ -138,6 +153,10 @@ class SlimStoreConfig:
             raise ValueError(f"index_shard_count must be >= 1: {self.index_shard_count}")
         if self.index_batch_size < 1:
             raise ValueError(f"index_batch_size must be >= 1: {self.index_batch_size}")
+        if self.ingest_segments < 0:
+            raise ValueError(f"ingest_segments cannot be negative: {self.ingest_segments}")
+        if self.flush_buffers < 0:
+            raise ValueError(f"flush_buffers cannot be negative: {self.flush_buffers}")
         if self.tombstone_grace_epochs < 0:
             raise ValueError(
                 f"tombstone_grace_epochs cannot be negative: {self.tombstone_grace_epochs}"

@@ -175,8 +175,14 @@ class ContainerBuilder:
         self.meta = ContainerMeta(container_id)
         self._data = bytearray()
 
-    def add_chunk(self, fp: bytes, data: bytes) -> ChunkLocation:
-        """Append chunk payload; returns its location entry."""
+    def add_chunk(self, fp: bytes, data: bytes | memoryview) -> ChunkLocation:
+        """Append chunk payload; returns its location entry.
+
+        ``data`` may be any buffer object (the dedup hot loop passes
+        zero-copy ``memoryview`` slices of the input stream); the single
+        copy into the container's own buffer happens here and nowhere
+        else.
+        """
         entry = ChunkLocation(fp=fp, offset=len(self._data), size=len(data))
         self.meta.add(entry)
         self._data += data

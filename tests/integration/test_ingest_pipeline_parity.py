@@ -1,0 +1,207 @@
+"""Differential suite: the pipelined ingest path changes time, not bytes.
+
+The segment-parallel pipeline re-times a backup job — it must never
+re-order or re-shape what lands on OSS.  Every test here runs the same
+seeded workload through a serial store and a pipelined store and asserts
+the *entire* repository state (every object in every bucket) is
+byte-identical, across pipeline settings, fault profiles and crash
+points.  The pipeline's batched index probes are modeled, never issued,
+which is exactly why parity holds even when a seeded
+:class:`~repro.oss.faults.FaultPolicy` burns one RNG draw per real OSS
+request (see ``docs/INGEST.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.system import SlimStore
+from repro.errors import SimulatedCrashError
+from repro.oss.faults import FaultPolicy
+from tests.conftest import (
+    SMALL_CONFIG,
+    make_chaos_store,
+    make_version_chain,
+    random_bytes,
+)
+from tests.integration.test_crash_matrix import (
+    assert_exactly_visible,
+    assert_zero_debris,
+    attach,
+    clone_state,
+    reattach,
+)
+
+PATH = "db/accounts.tbl"
+
+#: Knob grid: strictly serial alternation, chunk look-ahead only, and the
+#: full double-buffered configuration.
+KNOBS = [(0, 0), (1, 0), (3, 2)]
+
+
+def pipelined_config(ingest_segments: int, flush_buffers: int):
+    return SMALL_CONFIG.with_overrides(
+        ingest_pipeline=True,
+        ingest_segments=ingest_segments,
+        flush_buffers=flush_buffers,
+    )
+
+
+def run_chain(config, chain: list[bytes]) -> tuple[SlimStore, list]:
+    store = SlimStore(config)
+    reports = [store.backup(PATH, data) for data in chain]
+    return store, reports
+
+
+class TestByteIdenticalRepositories:
+    @pytest.mark.parametrize("seed", [7, 2026])
+    @pytest.mark.parametrize("knobs", KNOBS, ids=lambda k: f"ahead{k[0]}-buf{k[1]}")
+    def test_full_bucket_parity_across_knobs(self, seed, knobs):
+        chain = make_version_chain(
+            np.random.default_rng(seed), versions=3, size=160 * 1024
+        )
+        serial_store, serial_reports = run_chain(SMALL_CONFIG, chain)
+        piped_store, piped_reports = run_chain(pipelined_config(*knobs), chain)
+
+        assert clone_state(piped_store.oss) == clone_state(serial_store.oss)
+        for serial, piped in zip(serial_reports, piped_reports):
+            assert serial.pipeline is None
+            assert piped.pipeline is not None
+            assert piped.pipeline.elapsed_seconds > 0
+            assert piped.result.dedup_ratio == serial.result.dedup_ratio
+
+    def test_restores_identical_bytes(self):
+        chain = make_version_chain(
+            np.random.default_rng(99), versions=3, size=160 * 1024
+        )
+        serial_store, _ = run_chain(SMALL_CONFIG, chain)
+        piped_store, _ = run_chain(pipelined_config(3, 2), chain)
+        for version, data in enumerate(chain):
+            assert piped_store.restore(PATH, version).data == data
+            assert serial_store.restore(PATH, version).data == data
+
+    def test_pipeline_counters_only_on_pipelined_path(self):
+        # Two files sharing a middle block: the shared chunks are not in
+        # the second job's local history, so they survive the Bloom
+        # prefilter and become batched (modeled) index round trips.
+        rng = np.random.default_rng(5)
+        shared = random_bytes(rng, 32 * 1024)
+        first = random_bytes(rng, 64 * 1024) + shared + random_bytes(rng, 64 * 1024)
+        second = random_bytes(rng, 80 * 1024) + shared + random_bytes(rng, 48 * 1024)
+
+        def run(config):
+            store = SlimStore(config)
+            store.backup("db/one.bin", first)
+            return store, store.backup("db/two.bin", second).result
+
+        serial_store, serial_result = run(SMALL_CONFIG)
+        piped_store, piped_result = run(pipelined_config(2, 1))
+        assert serial_result.counters.get("ingest_bloom_probes") == 0
+        assert serial_result.counters.get("ingest_index_batches") == 0
+        assert piped_result.counters.get("ingest_bloom_probes") > 0
+        assert piped_result.counters.get("ingest_index_batches") > 0
+        assert piped_result.counters.get("ingest_index_keys") > 0
+        # The modeled round trips never became real index traffic.
+        assert clone_state(piped_store.oss) == clone_state(serial_store.oss)
+
+    def test_intra_file_memo_absorbs_repeated_chunks(self):
+        # A file of repeated blocks re-emits the same fingerprints; the
+        # per-job memo absorbs the repeat probes (serial path: no memo).
+        rng = np.random.default_rng(17)
+        data = random_bytes(rng, 48 * 1024) * 5
+
+        serial_store = SlimStore(SMALL_CONFIG)
+        serial = serial_store.backup("db/rep.bin", data).result
+        piped_store = SlimStore(pipelined_config(2, 1))
+        piped = piped_store.backup("db/rep.bin", data).result
+        assert serial.intra_file_dup_hits == 0
+        assert piped.intra_file_dup_hits > 0
+        assert piped.dedup_ratio == serial.dedup_ratio
+        assert clone_state(piped_store.oss) == clone_state(serial_store.oss)
+
+
+class TestParityUnderFaults:
+    @pytest.mark.parametrize("fault_seed", [11, 4242])
+    def test_chaos_profile_same_seed_same_bytes(self, fault_seed):
+        """Seeded faults draw per real request — parity must survive them."""
+        rates = dict(
+            get_error_rate=0.04,
+            put_error_rate=0.04,
+            torn_write_rate=0.03,
+        )
+        chain = make_version_chain(
+            np.random.default_rng(fault_seed), versions=3, size=160 * 1024
+        )
+
+        serial_store, _ = make_chaos_store(seed=fault_seed, **rates)
+        for data in chain:
+            serial_store.backup(PATH, data)
+
+        piped_store, _ = make_chaos_store(
+            seed=fault_seed, config=pipelined_config(2, 1), **rates
+        )
+        for data in chain:
+            piped_store.backup(PATH, data)
+
+        assert clone_state(piped_store.oss) == clone_state(serial_store.oss)
+        assert piped_store.restore(PATH).data == chain[-1]
+
+
+@pytest.mark.slow
+class TestPipelinedCrashMatrix:
+    """Crash a pipelined backup at every write index; recovery stays exact.
+
+    Reuses the crash-matrix harness with the pipeline switched on: the
+    write schedule is identical to the serial path's, so the matrix has
+    the same width, and every crash point recovers to zero debris with
+    only the committed version visible.
+    """
+
+    CONFIG = pipelined_config(2, 1)
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        rng = np.random.default_rng(77)
+        chain = make_version_chain(rng, versions=2, size=96 * 1024)
+        store = attach(config=self.CONFIG)
+        store.backup(PATH, chain[0])
+        return clone_state(store.oss), chain[1]
+
+    def test_crash_at_every_write_index(self, base):
+        base_state, next_version = base
+
+        def action(store: SlimStore) -> None:
+            store.backup(PATH, next_version)
+
+        # Probe run: the pipelined write schedule, faults off.
+        probe = attach(base_state, config=self.CONFIG)
+        policy = FaultPolicy()
+        probe.oss.set_fault_policy(policy)
+        action(probe)
+        probe.oss.set_fault_policy(None)
+        total_writes = policy.writes_seen
+        assert total_writes > 0
+
+        # Serial probe: pipelining must not change the write schedule.
+        serial_probe = attach(base_state)
+        serial_policy = FaultPolicy()
+        serial_probe.oss.set_fault_policy(serial_policy)
+        action(serial_probe)
+        serial_probe.oss.set_fault_policy(None)
+        assert serial_policy.writes_seen == total_writes
+
+        for crash_at in range(total_writes):
+            store = attach(base_state, config=self.CONFIG)
+            policy = FaultPolicy()
+            policy.crash_after_writes(crash_at)
+            store.oss.set_fault_policy(policy)
+            with pytest.raises(SimulatedCrashError):
+                action(store)
+            survivor = reattach(store)
+            assert_zero_debris(survivor)
+            committed = survivor.versions(PATH)
+            assert committed in ([0], [0, 1])
+            assert_exactly_visible(survivor, PATH, committed)
+            if committed == [0, 1]:
+                assert survivor.restore(PATH, 1).data == next_version

@@ -1,0 +1,259 @@
+"""Tests for the event-driven segment-parallel backup ingest pipeline."""
+
+import pytest
+
+from repro.core.cluster import BackupJobSpec, ClusterSimulator
+from repro.sim.events import simulate_backup_pipeline
+from repro.sim.parallel import pipelined_ingest_time
+
+
+class TestSerialSchedule:
+    def test_zero_lookahead_serialises_chunk_and_lookup(self):
+        # ahead=0: chunk(i+1) may only start once lookup(i) completed, so
+        # with no flushes the schedule is the exact serial sum.
+        stats = simulate_backup_pipeline(
+            [1.0, 2.0, 3.0],
+            [0.5, 0.5, 0.5],
+            setup_seconds=0.25,
+            finish_seconds=0.75,
+        )
+        assert stats.elapsed_seconds == pytest.approx(0.25 + 6.0 + 1.5 + 0.75)
+        # The spine waited for every single segment to be chunked.
+        assert stats.chunk_stall_count == 3
+        assert stats.chunk_stall_seconds == pytest.approx(6.0)
+
+    def test_synchronous_flush_blocks_the_spine(self):
+        # flush_buffers=0: the upload is paid inline on the spine.
+        stats = simulate_backup_pipeline(
+            [1.0, 1.0],
+            [1.0, 1.0],
+            flush_after=[1],
+            flush_seconds=[5.0],
+        )
+        assert stats.elapsed_seconds == pytest.approx(4.0 + 5.0)
+        assert stats.flush_stall_count == 1
+        assert stats.flush_stall_seconds == pytest.approx(5.0)
+
+    def test_empty_stream_runs_setup_flush_finish(self):
+        stats = simulate_backup_pipeline(
+            [],
+            [],
+            flush_after=[0],
+            flush_seconds=[1.0],
+            setup_seconds=0.5,
+            finish_seconds=0.25,
+        )
+        assert stats.elapsed_seconds == pytest.approx(0.5 + 1.0 + 0.25)
+
+    def test_flush_after_past_last_segment_is_clamped(self):
+        stats = simulate_backup_pipeline(
+            [1.0, 1.0],
+            [1.0, 1.0],
+            flush_after=[10],
+            flush_seconds=[2.0],
+        )
+        assert stats.elapsed_seconds == pytest.approx(4.0 + 2.0)
+
+
+class TestOverlap:
+    def test_full_lookahead_reaches_the_spine_bound(self):
+        # With the window wide open every chunk runs up front and the job
+        # is limited by chunk[0] + sum(lookup) — the closed-form bound.
+        chunk = [1.0] * 4
+        lookup = [2.0] * 4
+        stats = simulate_backup_pipeline(chunk, lookup, ingest_segments=3)
+        bound = pipelined_ingest_time(chunk, lookup)
+        assert stats.elapsed_seconds == pytest.approx(bound)
+        assert stats.chunk_stall_count == 1  # only segment 0
+
+    def test_event_schedule_never_beats_the_closed_form_bound(self):
+        chunk = [0.3, 1.1, 0.2, 0.9, 0.5]
+        lookup = [0.4, 0.2, 0.8, 0.1, 0.6]
+        flush = [1.5, 2.5]
+        for ahead in (0, 1, 4):
+            for buffers in (0, 1, 3):
+                stats = simulate_backup_pipeline(
+                    chunk,
+                    lookup,
+                    flush_after=[2, 4],
+                    flush_seconds=flush,
+                    ingest_segments=ahead,
+                    flush_buffers=buffers,
+                    channels=4,
+                )
+                bound = pipelined_ingest_time(chunk, lookup, flush, channels=4)
+                assert stats.elapsed_seconds >= bound - 1e-12
+
+    def test_double_buffering_hides_uploads(self):
+        kwargs = dict(
+            chunk_seconds=[0.0, 0.0, 0.0],
+            lookup_seconds=[1.0, 1.0, 1.0],
+            flush_after=[0, 1],
+            flush_seconds=[2.0, 2.0],
+            ingest_segments=2,
+        )
+        serial = simulate_backup_pipeline(**kwargs, flush_buffers=0)
+        double = simulate_backup_pipeline(**kwargs, flush_buffers=1)
+        roomy = simulate_backup_pipeline(**kwargs, flush_buffers=2)
+        # 0 buffers: both uploads block the spine (3 + 4 = 7s).
+        assert serial.elapsed_seconds == pytest.approx(7.0)
+        # 1 buffer: second flush waits for the first buffer (1s stall).
+        assert double.elapsed_seconds == pytest.approx(5.0)
+        assert double.flush_stall_count == 1
+        assert double.flush_stall_seconds == pytest.approx(1.0)
+        # 2 buffers: uploads fully off the spine; drain ends at t=4.
+        assert roomy.elapsed_seconds == pytest.approx(4.0)
+        assert roomy.flush_stall_count == 0
+
+    def test_more_lookahead_never_slows_the_job(self):
+        chunk = [0.7, 0.3, 0.9, 0.4]
+        lookup = [0.2, 0.6, 0.1, 0.5]
+        elapsed = [
+            simulate_backup_pipeline(chunk, lookup, ingest_segments=a).elapsed_seconds
+            for a in (0, 1, 2, 3)
+        ]
+        assert elapsed == sorted(elapsed, reverse=True)
+
+
+class TestIndexRoundTrips:
+    def test_rpc_latency_beyond_cpu_is_waited_and_counted(self):
+        stats = simulate_backup_pipeline(
+            [0.0],
+            [1.0],
+            lookup_rpcs=[[3.0]],
+        )
+        assert stats.elapsed_seconds == pytest.approx(3.0)
+        assert stats.rpc_wait_seconds == pytest.approx(2.0)
+
+    def test_rpcs_hidden_under_cpu_cost_nothing(self):
+        stats = simulate_backup_pipeline(
+            [0.0],
+            [2.0],
+            lookup_rpcs=[[0.5, 0.5]],
+        )
+        assert stats.elapsed_seconds == pytest.approx(2.0)
+        assert stats.rpc_wait_seconds == pytest.approx(0.0)
+
+    def test_single_channel_serialises_a_segments_batches(self):
+        stats = simulate_backup_pipeline(
+            [0.0],
+            [1.0],
+            lookup_rpcs=[[2.0, 2.0]],
+            channels=1,
+        )
+        assert stats.elapsed_seconds == pytest.approx(4.0)
+        assert stats.rpc_wait_seconds == pytest.approx(3.0)
+
+    def test_channel_busy_accounting_matches_work(self):
+        stats = simulate_backup_pipeline(
+            [0.0, 0.0],
+            [1.0, 1.0],
+            lookup_rpcs=[[0.5], [0.5]],
+            flush_after=[1],
+            flush_seconds=[2.0],
+            channels=2,
+        )
+        assert sum(stats.channel_busy_seconds) == pytest.approx(0.5 + 0.5 + 2.0)
+
+
+class TestValidation:
+    def test_rejects_misaligned_traces(self):
+        with pytest.raises(ValueError):
+            simulate_backup_pipeline([1.0], [])
+        with pytest.raises(ValueError):
+            simulate_backup_pipeline([1.0], [1.0], flush_after=[0], flush_seconds=[])
+        with pytest.raises(ValueError):
+            simulate_backup_pipeline([1.0], [1.0], lookup_rpcs=[[], []])
+
+    def test_rejects_negative_knobs_and_durations(self):
+        with pytest.raises(ValueError):
+            simulate_backup_pipeline([1.0], [1.0], ingest_segments=-1)
+        with pytest.raises(ValueError):
+            simulate_backup_pipeline([1.0], [1.0], flush_buffers=-1)
+        with pytest.raises(ValueError):
+            simulate_backup_pipeline([-1.0], [1.0])
+
+    def test_deterministic_replay(self):
+        args = dict(
+            chunk_seconds=[0.3, 0.7, 0.2],
+            lookup_seconds=[0.5, 0.1, 0.4],
+            lookup_rpcs=[[0.2], [], [0.3, 0.1]],
+            flush_after=[1],
+            flush_seconds=[0.9],
+            ingest_segments=1,
+            flush_buffers=1,
+        )
+        first = simulate_backup_pipeline(**args)
+        second = simulate_backup_pipeline(**args)
+        assert first == second
+
+
+def make_spec(**knobs) -> BackupJobSpec:
+    return BackupJobSpec(
+        logical_bytes=float(1 << 20),
+        chunk_seconds=(0.2, 0.2, 0.2, 0.2),
+        lookup_seconds=(0.1, 0.1, 0.1, 0.1),
+        lookup_rpcs=((0.05,), (), (0.05,), ()),
+        flush_after=(1, 3),
+        flush_seconds=(0.3, 0.3),
+        setup_seconds=0.01,
+        finish_seconds=0.02,
+        **knobs,
+    )
+
+
+class TestClusterBackupPipelines:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            make_spec(ingest_segments=-1)
+        with pytest.raises(ValueError):
+            BackupJobSpec(1.0, (1.0,), (), (), (), ())
+
+    def test_with_knobs_returns_retuned_copy(self):
+        spec = make_spec()
+        tuned = spec.with_knobs(3, 2)
+        assert (tuned.ingest_segments, tuned.flush_buffers) == (3, 2)
+        assert tuned.chunk_seconds == spec.chunk_seconds
+        assert (spec.ingest_segments, spec.flush_buffers) == (0, 0)
+
+    def test_single_job_matches_standalone_simulation(self):
+        spec = make_spec(ingest_segments=2, flush_buffers=1)
+        sim = ClusterSimulator(1)
+        report = sim.run_backup_pipelines([spec], channels_per_node=2)
+        stats = simulate_backup_pipeline(
+            spec.chunk_seconds,
+            spec.lookup_seconds,
+            lookup_rpcs=spec.lookup_rpcs,
+            flush_after=spec.flush_after,
+            flush_seconds=spec.flush_seconds,
+            setup_seconds=spec.setup_seconds,
+            finish_seconds=spec.finish_seconds,
+            ingest_segments=2,
+            flush_buffers=1,
+            channels=2,
+        )
+        assert report.makespan_seconds == pytest.approx(stats.elapsed_seconds)
+        assert report.index_rpcs == 2
+
+    def test_contended_channels_slow_co_located_jobs(self):
+        spec = make_spec(ingest_segments=2, flush_buffers=1)
+        sim = ClusterSimulator(1)
+        alone = sim.run_backup_pipelines([spec], channels_per_node=1)
+        crowd = sim.run_backup_pipelines([spec] * 6, channels_per_node=1)
+        assert crowd.makespan_seconds > alone.makespan_seconds
+        assert crowd.ingest_rpc_wait_seconds >= alone.ingest_rpc_wait_seconds
+
+    def test_slots_queue_excess_jobs(self):
+        spec = make_spec()
+        sim = ClusterSimulator(1)
+        wide = sim.run_backup_pipelines([spec] * 4, backup_slots=4)
+        narrow = sim.run_backup_pipelines([spec] * 4, backup_slots=1)
+        assert narrow.makespan_seconds > wide.makespan_seconds
+        assert len(narrow.completion_times) == 4
+
+    def test_backup_throughput_dispatches_on_spec_type(self):
+        spec = make_spec(ingest_segments=2, flush_buffers=1)
+        sim = ClusterSimulator(1)
+        via_dispatch = sim.backup_throughput(spec, 2)
+        via_run = sim.run_backup_pipelines([spec] * 2).aggregate_throughput_mb_s
+        assert via_dispatch == pytest.approx(via_run)
