@@ -19,6 +19,7 @@ figure of the paper's evaluation.
 """
 
 from repro.core.config import SlimStoreConfig
+from repro.core.durability import ReplicationPolicy
 from repro.core.system import BackupReport, RestoreReport, SlimStore, SpaceReport
 from repro.oss.faults import FaultPolicy
 from repro.oss.object_store import ObjectStorageService
@@ -35,6 +36,7 @@ __all__ = [
     "SpaceReport",
     "ObjectStorageService",
     "FaultPolicy",
+    "ReplicationPolicy",
     "RetryPolicy",
     "CostModel",
     "__version__",

@@ -15,6 +15,10 @@ Usage::
     python -m repro index   REPO
     python -m repro scrub   REPO [--repair]
     python -m repro fsck    REPO [--repair]
+    python -m repro durability REPO [--enable|--disable|--retier]
+                            [--replicas N] [--hot-refs N] [--cold-refs N]
+                            [--data-shards K] [--parity-shards M]
+                            [--fault-domains D]
 
 Example::
 
@@ -38,8 +42,21 @@ from repro.oss.backend import FilesystemBackend
 from repro.oss.object_store import ObjectStorageService
 
 #: Repository-level settings that must stay fixed for the repo's lifetime
-#: (the index shard layout decides which store holds each fingerprint).
+#: (the index shard layout decides which store holds each fingerprint;
+#: the durability policy decides the replica/parity keyspace layout).
 _SETTINGS_FILE = "repro.json"
+
+
+def _load_settings(root: Path) -> dict:
+    """The repository's pinned settings (empty for a fresh directory)."""
+    settings_path = root / _SETTINGS_FILE
+    if settings_path.is_file():
+        return dict(json.loads(settings_path.read_text()))
+    return {}
+
+
+def _save_settings(root: Path, settings: dict) -> None:
+    (root / _SETTINGS_FILE).write_text(json.dumps(settings, indent=2, sort_keys=True))
 
 
 def _resolve_shard_count(root: Path, requested: int | None) -> int:
@@ -51,9 +68,9 @@ def _resolve_shard_count(root: Path, requested: int | None) -> int:
     ``repro.json``; pre-sharding repositories (data present, no settings
     file) are single-shard by construction.
     """
-    settings_path = root / _SETTINGS_FILE
-    if settings_path.is_file():
-        stored = int(json.loads(settings_path.read_text())["index_shard_count"])
+    settings = _load_settings(root)
+    if "index_shard_count" in settings:
+        stored = int(settings["index_shard_count"])
         if requested is not None and requested != stored:
             raise ReproError(
                 f"repository uses {stored} index shards; "
@@ -72,8 +89,22 @@ def _resolve_shard_count(root: Path, requested: int | None) -> int:
         shard_count = (
             SlimStoreConfig().index_shard_count if requested is None else requested
         )
-    settings_path.write_text(json.dumps({"index_shard_count": shard_count}))
+    settings["index_shard_count"] = shard_count
+    _save_settings(root, settings)
     return shard_count
+
+
+def _durability_overrides(policy: dict) -> dict:
+    """Config overrides applying a persisted durability policy dict."""
+    return {
+        "durability_enabled": True,
+        "durability_replicas": int(policy["replica_count"]),
+        "durability_hot_refs": int(policy["hot_refs"]),
+        "durability_cold_refs": int(policy["cold_refs"]),
+        "erasure_data_shards": int(policy["data_shards"]),
+        "erasure_parity_shards": int(policy["parity_shards"]),
+        "fault_domains": int(policy["fault_domains"]),
+    }
 
 
 def open_repository(
@@ -96,10 +127,18 @@ def open_repository(
     oss = ObjectStorageService(
         backend_factory=lambda bucket: FilesystemBackend(root / bucket)
     )
+    overrides: dict = {}
+    durability = _load_settings(root).get("durability")
+    if durability is not None:
+        # The persisted policy is repository state, like the shard count:
+        # the replica/parity keyspace was laid out under it, so every
+        # reopen applies it automatically (``repro durability`` changes it).
+        overrides.update(_durability_overrides(durability))
+    overrides.update(config_overrides or {})
     config = replace(
         SlimStoreConfig(),
         index_shard_count=shard_count,
-        **(config_overrides or {}),
+        **overrides,
     )
     store = SlimStore(config, oss)
     store.recover(run_recovery=run_recovery)
@@ -240,6 +279,14 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         print(f"  PARTIAL REAP container {cid}", file=sys.stderr)
     for cid in report.orphan_candidates:
         print(f"  ORPHAN container {cid}", file=sys.stderr)
+    for cid, recorded, target in report.durability_class_mismatches:
+        print(
+            f"  DURABILITY container {cid}: class {recorded}, policy says {target}",
+            file=sys.stderr,
+        )
+    for cid, key in report.durability_divergent:
+        where = f"container {cid}" if cid is not None else "parity"
+        print(f"  DIVERGENT copy {key} ({where})", file=sys.stderr)
     print(
         f"journal: {len(report.open_intents)} open intents; "
         f"containers: {len(report.torn_pairs)} torn, "
@@ -248,6 +295,12 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         f"{len(report.tombstoned)} in tombstone grace; "
         f"index: {report.dangling_index_entries} dangling entries"
     )
+    if store.storage.durability is not None:
+        print(
+            f"durability: {len(report.durability_untiered)} untiered, "
+            f"{len(report.durability_class_mismatches)} class mismatches, "
+            f"{len(report.durability_divergent)} divergent copies"
+        )
     if report.clean:
         print("repository is consistent")
         return 0
@@ -262,14 +315,112 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         f"({recovery.orphan_bytes} bytes), "
         f"{len(recovery.torn_collected)} torn pairs collected, "
         f"{len(recovery.reaps_finished)} reaps finished, "
-        f"{recovery.index_entries_fixed} index entries fixed"
+        f"{recovery.index_entries_fixed} index entries fixed, "
+        f"{len(recovery.replica_orphans_collected)} replica orphans swept"
     )
+    durability = store.storage.durability
+    if durability is not None and (
+        report.durability_divergent or report.durability_class_mismatches
+    ):
+        refcounts = store.catalog.refcounts()
+        repaired = durability.repair_divergent(durability.audit(refcounts))
+        retier = store.gnode.retier(refcounts)
+        print(
+            f"durability repair: {repaired} divergent copies re-synced, "
+            f"{len(retier.transitions)} containers re-tiered"
+        )
     if recovery.torn_damaged:
         for cid in recovery.torn_damaged:
             print(f"  DAMAGED container {cid}: referenced but torn",
                   file=sys.stderr)
         return 1
     print("repository recovered")
+    return 0
+
+
+def _cmd_durability(args: argparse.Namespace) -> int:
+    root = Path(args.repo)
+    if args.enable:
+        from repro.core.durability import ReplicationPolicy
+
+        try:
+            policy = ReplicationPolicy(
+                replica_count=args.replicas,
+                hot_refs=args.hot_refs,
+                cold_refs=args.cold_refs,
+                data_shards=args.data_shards,
+                parity_shards=args.parity_shards,
+                fault_domains=args.fault_domains,
+            )
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        root.mkdir(parents=True, exist_ok=True)
+        settings = _load_settings(root)
+        settings["durability"] = policy.to_dict()
+        _save_settings(root, settings)
+        print(
+            f"durability tier enabled: {policy.replica_count}-way replication "
+            f"at >= {policy.hot_refs} refs, RS({policy.data_shards},"
+            f"{policy.parity_shards}) erasure at >= {policy.cold_refs} refs, "
+            f"{policy.fault_domains} fault domains"
+        )
+    elif args.disable:
+        settings = _load_settings(root)
+        if settings.pop("durability", None) is None:
+            print("durability tier already disabled")
+            return 0
+        # Resolve any open tier intents under the old policy (the settings
+        # file still carries it), then drop the whole durability keyspace
+        # — the primaries carry the data.
+        store = open_repository(args.repo)
+        oss = store.storage.oss
+        bucket = store.storage.containers._bucket
+        removed = 0
+        for key in list(oss.peek_keys(bucket, "durability/")):
+            if oss.delete_object(bucket, key):
+                removed += 1
+        _save_settings(root, settings)
+        print(f"durability tier disabled, {removed} replica/parity objects removed")
+        return 0
+
+    store = open_repository(args.repo)
+    durability = store.storage.durability
+    if durability is None:
+        print("durability tier: disabled (enable with --enable)")
+        return 0
+    if args.retier or args.enable:
+        report = store.gnode.retier(store.catalog.refcounts())
+        print(
+            f"retier: {report.examined} containers examined, "
+            f"{len(report.transitions)} transitions, "
+            f"{report.copies_written} copies written, "
+            f"{report.stripes_built} stripes built "
+            f"({report.parity_written} parity shards), "
+            f"{report.stripes_retired} stripes retired"
+        )
+    policy = durability.policy
+    classes = durability.classes()
+    histogram: dict[str, int] = {}
+    for klass in classes.values():
+        histogram[klass] = histogram.get(klass, 0) + 1
+    print(
+        f"policy: {policy.replica_count}-way replication at >= "
+        f"{policy.hot_refs} refs, RS({policy.data_shards},"
+        f"{policy.parity_shards}) erasure at >= {policy.cold_refs} refs, "
+        f"{policy.fault_domains} fault domains"
+    )
+    print(
+        "classes: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(histogram.items()))
+        if histogram
+        else "classes: none tiered yet"
+    )
+    print(f"durability bytes: {durability.stored_bytes()}")
+    print(
+        f"degraded reads served: {durability.replica_failovers} replica "
+        f"failovers, {durability.erasure_decodes} erasure decodes, "
+        f"{durability.degraded_chunk_reads} chunk heals"
+    )
     return 0
 
 
@@ -364,6 +515,37 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("--repair", action="store_true",
                       help="roll interrupted jobs forward/back and GC debris")
     fsck.set_defaults(handler=_cmd_fsck)
+
+    defaults = SlimStoreConfig()
+    durability = commands.add_parser(
+        "durability", help="show or manage the replication/erasure tier"
+    )
+    durability.add_argument("repo")
+    durability.add_argument("--enable", action="store_true",
+                            help="enable the tier and persist the policy")
+    durability.add_argument("--disable", action="store_true",
+                            help="disable the tier and drop replica/parity bytes")
+    durability.add_argument("--retier", action="store_true",
+                            help="re-tier every container to the live refcounts")
+    durability.add_argument("--replicas", type=int,
+                            default=defaults.durability_replicas,
+                            help="copies for hot containers (with --enable)")
+    durability.add_argument("--hot-refs", type=int,
+                            default=defaults.durability_hot_refs,
+                            help="refcount where replication starts")
+    durability.add_argument("--cold-refs", type=int,
+                            default=defaults.durability_cold_refs,
+                            help="refcount where erasure coding starts")
+    durability.add_argument("--data-shards", type=int,
+                            default=defaults.erasure_data_shards,
+                            help="Reed-Solomon data shards per stripe")
+    durability.add_argument("--parity-shards", type=int,
+                            default=defaults.erasure_parity_shards,
+                            help="Reed-Solomon parity shards per stripe")
+    durability.add_argument("--fault-domains", type=int,
+                            default=defaults.fault_domains,
+                            help="simulated fault domains for placement")
+    durability.set_defaults(handler=_cmd_durability)
     return parser
 
 

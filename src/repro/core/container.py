@@ -21,12 +21,23 @@ import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import ContainerError, ObjectNotFoundError
+from repro.errors import (
+    ContainerError,
+    ObjectNotFoundError,
+    RetryExhaustedError,
+    SimulatedCrashError,
+    TransientOSSError,
+)
 from repro.fingerprint.hashing import FP_SIZE
 from repro.oss.object_store import ObjectStorageService
 
 if TYPE_CHECKING:
+    from repro.core.durability import DurabilityManager
     from repro.core.journal import IntentJournal
+
+#: Read failures the durability failover path absorbs (a simulated crash
+#: is terminal and deliberately propagates).
+_FAILOVER_ERRORS = (ObjectNotFoundError, TransientOSSError, RetryExhaustedError)
 
 _META_HEADER = struct.Struct(">QI")          # container id, entry count
 _META_ENTRY = struct.Struct(">20sQIB")       # fp, offset, size, flags
@@ -245,6 +256,10 @@ class ContainerStore:
         self.torn_pairs: dict[int, str] = {}
         #: Tombstoned containers whose reap was interrupted mid-delete.
         self.partial_reaps: set[int] = set()
+        #: The durability tier, when enabled: consulted for replica/parity
+        #: failover on failed reads and notified of payload mutations and
+        #: deletions so copies never go stale.
+        self.durability: "DurabilityManager | None" = None
         oss.create_bucket(bucket)
 
     @property
@@ -331,10 +346,25 @@ class ContainerStore:
 
     # --- reading ------------------------------------------------------------------
     def read_data(self, container_id: int, channels: int = 1) -> bytes:
-        """Whole-container payload read (the restore access pattern)."""
-        return self._oss.get_object(
-            self._bucket, self.DATA_KEY.format(cid=container_id), channels
-        )
+        """Whole-container payload read (the restore access pattern).
+
+        With the durability tier enabled, a failed primary read falls
+        over to a replica or an erasure decode (primary → replica →
+        decode) instead of surfacing the error; only when no source can
+        produce verified bytes does the original failure propagate.
+        """
+        try:
+            return self._oss.get_object(
+                self._bucket, self.DATA_KEY.format(cid=container_id), channels
+            )
+        except SimulatedCrashError:
+            raise
+        except _FAILOVER_ERRORS:
+            if self.durability is not None:
+                payload = self.durability.verified_payload(container_id)
+                if payload is not None:
+                    return payload
+            raise
 
     def read_meta(self, container_id: int, piggyback: bool = False) -> ContainerMeta:
         """Container metadata read (``piggyback`` when read next to data)."""
@@ -354,20 +384,47 @@ class ContainerStore:
         whole-container read amplification for a handful of live chunks,
         only the planned extents cross the wire.
         """
-        payloads = self._oss.get_ranges(
-            self._bucket, self.DATA_KEY.format(cid=container_id), spans, channels
-        )
+        try:
+            payloads = self._oss.get_ranges(
+                self._bucket, self.DATA_KEY.format(cid=container_id), spans, channels
+            )
+        except SimulatedCrashError:
+            raise
+        except _FAILOVER_ERRORS:
+            # Ranged failover: fetch the whole verified payload through
+            # the durability tier (its reads are charged) and slice the
+            # requested extents locally.
+            if self.durability is not None:
+                payload = self.durability.verified_payload(container_id)
+                if payload is not None:
+                    return [
+                        (offset, payload[offset : offset + length])
+                        for offset, length in spans
+                    ]
+            raise
         return [(offset, data) for (offset, _), data in zip(spans, payloads)]
 
     def read_chunk(self, container_id: int, fp: bytes) -> bytes | None:
         """Ranged read of a single chunk (meta lookup + ranged GET)."""
-        meta = self.read_meta(container_id)
-        entry = meta.find(fp)
-        if entry is None or entry.deleted:
-            return None
-        return self._oss.get_range(
-            self._bucket, self.DATA_KEY.format(cid=container_id), entry.offset, entry.size
-        )
+        try:
+            meta = self.read_meta(container_id)
+            entry = meta.find(fp)
+            if entry is None or entry.deleted:
+                return None
+            return self._oss.get_range(
+                self._bucket,
+                self.DATA_KEY.format(cid=container_id),
+                entry.offset,
+                entry.size,
+            )
+        except SimulatedCrashError:
+            raise
+        except _FAILOVER_ERRORS:
+            if self.durability is not None:
+                chunk = self.durability.fetch_chunk(container_id, fp)
+                if chunk is not None:
+                    return chunk
+            raise
 
     def exists(self, container_id: int) -> bool:
         """True if the container's data object is still stored."""
@@ -392,6 +449,8 @@ class ContainerStore:
         self._oss.put_object(
             self._bucket, self.DATA_KEY.format(cid=container_id), payload
         )
+        if self.durability is not None:
+            self.durability.on_payload_changed(container_id, payload)
 
     def rewrite(self, container_id: int) -> int:
         """Drop deleted chunks from the payload; returns bytes reclaimed.
@@ -467,6 +526,11 @@ class ContainerStore:
             self._bucket, self.DATA_KEY.format(cid=container_id), payload
         )
         self.update_meta(new_meta)
+        # Refresh replicas/parity inside the rewrite intent window: a
+        # crash in between is rolled forward by recovery, which re-runs
+        # this hook after completing the rewrite.
+        if self.durability is not None:
+            self.durability.on_payload_changed(container_id, payload)
         if seq is not None:
             self.journal.close(seq)
         return reclaimed
@@ -499,6 +563,8 @@ class ContainerStore:
         self._live_ids.discard(container_id)
         self._tombstoned.pop(container_id, None)
         self.partial_reaps.discard(container_id)
+        if self.durability is not None:
+            self.durability.on_deleted(container_id, immediate=True)
         return existed
 
     def purge(self, container_id: int) -> bool:
@@ -516,6 +582,8 @@ class ContainerStore:
         self._tombstoned.pop(container_id, None)
         self.partial_reaps.discard(container_id)
         self.torn_pairs.pop(container_id, None)
+        if self.durability is not None:
+            self.durability.on_deleted(container_id, immediate=True)
         return existed
 
     def complete_rewrite(
@@ -558,6 +626,8 @@ class ContainerStore:
         )
         self._live_ids.discard(container_id)
         self._tombstoned[container_id] = self._epoch
+        if self.durability is not None:
+            self.durability.on_deleted(container_id, immediate=False)
         return True
 
     @property
@@ -598,6 +668,8 @@ class ContainerStore:
             self._oss.delete_object(self._bucket, self.META_KEY.format(cid=cid))
             self._oss.delete_object(self._bucket, self.TOMB_KEY.format(cid=cid))
             self._tombstoned.pop(cid)
+            if self.durability is not None:
+                self.durability.on_deleted(cid, immediate=True)
             reclaimed += size or 0
             reaped.append(cid)
         return reclaimed, reaped
@@ -609,12 +681,16 @@ class ContainerStore:
         self._oss.delete_object(self._bucket, self.TOMB_KEY.format(cid=container_id))
         self.partial_reaps.discard(container_id)
         self._tombstoned.pop(container_id, None)
+        if self.durability is not None:
+            self.durability.on_deleted(container_id, immediate=True)
 
     def discard_torn(self, container_id: int) -> None:
         """Delete the surviving half of a quarantined torn pair."""
         self._oss.delete_object(self._bucket, self.DATA_KEY.format(cid=container_id))
         self._oss.delete_object(self._bucket, self.META_KEY.format(cid=container_id))
         self.torn_pairs.pop(container_id, None)
+        if self.durability is not None:
+            self.durability.on_deleted(container_id, immediate=True)
 
     # --- accounting -------------------------------------------------------------------
     def container_ids(self) -> list[int]:
@@ -629,9 +705,24 @@ class ContainerStore:
             total += size or 0
         return total
 
+    def primary_missing(self, container_id: int) -> bool:
+        """True when a live container's primary data object is gone
+        (restore planning peeks this to anticipate degraded reads)."""
+        return (
+            self._oss.peek_size(self._bucket, self.DATA_KEY.format(cid=container_id))
+            is None
+        )
+
     def container_size(self, container_id: int) -> int:
-        """Data-object size of one container (accounting only, free)."""
+        """Data-object size of one container (accounting only, free).
+
+        When the primary object is missing but the durability tier holds
+        a record for the container, the recorded payload length answers
+        instead — sizing never forces a degraded read.
+        """
         size = self._oss.peek_size(self._bucket, self.DATA_KEY.format(cid=container_id))
+        if size is None and self.durability is not None:
+            size = self.durability.recorded_length(container_id)
         if size is None:
             raise ObjectNotFoundError(self._bucket, self.DATA_KEY.format(cid=container_id))
         return size

@@ -1,0 +1,191 @@
+"""Pure-python Reed–Solomon erasure coding over GF(2^8).
+
+The durability tier stripes cold container payloads across simulated
+fault domains: ``k`` data shards (the container payloads themselves,
+zero-padded to a common length) plus ``m`` parity shards, any ``k`` of
+the ``k+m`` sufficing to rebuild every data shard.
+
+The code is systematic with a Cauchy generator: parity row ``i`` uses
+coefficients ``1 / (x_i ^ y_j)`` with ``x_i = k + i`` and ``y_j = j``,
+whose square submatrices are all invertible, so the code is MDS — it
+tolerates the loss of *any* ``m`` shards.
+
+Byte-level arithmetic stays fast without numpy by expressing each
+coefficient multiplication as a 256-entry ``bytes.translate`` table and
+shard accumulation as one big-int XOR.
+"""
+
+from __future__ import annotations
+
+#: The AES field polynomial x^8 + x^4 + x^3 + x + 1.
+_PRIMITIVE_POLY = 0x11D
+
+_EXP = [0] * 512
+_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(255):
+        _EXP[power] = value
+        _LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLY
+    for power in range(255, 512):
+        _EXP[power] = _EXP[power - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; ``a`` must be non-zero."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(2^8)")
+    return _EXP[255 - _LOG[a]]
+
+
+#: coefficient -> 256-byte translation table, built lazily (a stripe only
+#: ever touches a handful of the 255 possible coefficients).
+_MUL_TABLES: dict[int, bytes] = {}
+
+
+def _mul_table(coeff: int) -> bytes:
+    table = _MUL_TABLES.get(coeff)
+    if table is None:
+        table = bytes(gf_mul(coeff, value) for value in range(256))
+        _MUL_TABLES[coeff] = table
+    return table
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return (
+        int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    ).to_bytes(len(a), "big")
+
+
+def _scale(coeff: int, shard: bytes) -> bytes:
+    if coeff == 0:
+        return bytes(len(shard))
+    if coeff == 1:
+        return shard
+    return shard.translate(_mul_table(coeff))
+
+
+class ReedSolomon:
+    """A systematic ``(k + m, k)`` Reed–Solomon code.
+
+    ``encode`` turns ``k`` equal-length data shards into ``m`` parity
+    shards; ``decode`` rebuilds all ``k`` data shards from any ``k``
+    surviving shards (data or parity), indexed ``0..k-1`` for data and
+    ``k..k+m-1`` for parity.
+    """
+
+    def __init__(self, data_shards: int, parity_shards: int) -> None:
+        if data_shards < 1:
+            raise ValueError("data_shards must be >= 1")
+        if parity_shards < 1:
+            raise ValueError("parity_shards must be >= 1")
+        if data_shards + parity_shards > 255:
+            raise ValueError("k + m must be <= 255 in GF(2^8)")
+        self.data_shards = data_shards
+        self.parity_shards = parity_shards
+        # Cauchy rows: x_i = k + i for parity row i, y_j = j for data
+        # column j.  x and y sets are disjoint so every entry is defined.
+        self._parity_rows = [
+            [gf_inv((data_shards + i) ^ j) for j in range(data_shards)]
+            for i in range(parity_shards)
+        ]
+
+    @property
+    def total_shards(self) -> int:
+        return self.data_shards + self.parity_shards
+
+    def encode(self, shards: list[bytes]) -> list[bytes]:
+        """Parity shards for ``k`` equal-length data shards."""
+        if len(shards) != self.data_shards:
+            raise ValueError(
+                f"expected {self.data_shards} data shards, got {len(shards)}"
+            )
+        length = len(shards[0])
+        if any(len(shard) != length for shard in shards):
+            raise ValueError("data shards must all have the same length")
+        parity = []
+        for row in self._parity_rows:
+            acc = bytes(length)
+            for coeff, shard in zip(row, shards):
+                acc = _xor_bytes(acc, _scale(coeff, shard))
+            parity.append(acc)
+        return parity
+
+    def _row(self, shard_index: int) -> list[int]:
+        """Generator-matrix row producing shard ``shard_index``."""
+        if shard_index < self.data_shards:
+            return [
+                1 if j == shard_index else 0 for j in range(self.data_shards)
+            ]
+        return list(self._parity_rows[shard_index - self.data_shards])
+
+    def decode(self, available: dict[int, bytes], shard_len: int) -> list[bytes]:
+        """Rebuild all ``k`` data shards from any ``k`` available shards.
+
+        ``available`` maps shard index (``0..k+m-1``) to its bytes.  Extra
+        entries beyond ``k`` are ignored (the first ``k`` in index order
+        are used).
+        """
+        if any(
+            index < 0 or index >= self.total_shards for index in available
+        ):
+            raise ValueError("shard index out of range")
+        if any(len(shard) != shard_len for shard in available.values()):
+            raise ValueError("available shards must all be shard_len long")
+        chosen = sorted(available)[: self.data_shards]
+        if len(chosen) < self.data_shards:
+            raise ValueError(
+                f"need {self.data_shards} shards to decode, "
+                f"have {len(available)}"
+            )
+        # Fast path: all data shards present.
+        if chosen == list(range(self.data_shards)):
+            return [available[index] for index in chosen]
+        matrix = [self._row(index) for index in chosen]
+        inverse = _invert(matrix)
+        data = []
+        for row in inverse:
+            acc = bytes(shard_len)
+            for coeff, index in zip(row, chosen):
+                acc = _xor_bytes(acc, _scale(coeff, available[index]))
+            data.append(acc)
+        return data
+
+
+def _invert(matrix: list[list[int]]) -> list[list[int]]:
+    """Invert a square GF(2^8) matrix via Gauss–Jordan elimination."""
+    size = len(matrix)
+    work = [list(row) + [1 if j == i else 0 for j in range(size)]
+            for i, row in enumerate(matrix)]
+    for col in range(size):
+        pivot = next(
+            (row for row in range(col, size) if work[row][col] != 0), None
+        )
+        if pivot is None:
+            raise ValueError("matrix is singular")
+        work[col], work[pivot] = work[pivot], work[col]
+        inv = gf_inv(work[col][col])
+        work[col] = [gf_mul(inv, value) for value in work[col]]
+        for row in range(size):
+            if row != col and work[row][col]:
+                factor = work[row][col]
+                work[row] = [
+                    value ^ gf_mul(factor, work[col][j])
+                    for j, value in enumerate(work[row])
+                ]
+    return [row[size:] for row in work]

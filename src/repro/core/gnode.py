@@ -503,6 +503,24 @@ class GNode:
             )
 
     # ------------------------------------------------------------------
+    # Durability re-tiering
+    # ------------------------------------------------------------------
+    def retier(self, refcounts: dict[int, int], container_ids: list[int] | None = None):
+        """Re-tier container durability to match the live refcounts.
+
+        Runs in the backend after a backup (and from ``repro durability
+        --retier``): containers whose heat crossed a policy threshold are
+        promoted to replication, grouped into erasure stripes or demoted
+        to single copies.  Returns the
+        :class:`~repro.core.durability.RetierReport`, or None when the
+        durability tier is disabled.
+        """
+        durability = self.storage.durability
+        if durability is None:
+            return None
+        return durability.retier(refcounts, container_ids)
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def deep_clean(self, stale_threshold: float = 0.01) -> int:
@@ -532,6 +550,10 @@ class GNode:
         self._prune_global_index()
         reaped_bytes, _ = containers.reap_expired()
         reclaimed += reaped_bytes
+        durability = self.storage.durability
+        if durability is not None:
+            retired_bytes, _ = durability.reap_retired()
+            reclaimed += retired_bytes
         if containers.grace_epochs > 0:
             containers.advance_epoch()
         return reclaimed

@@ -30,6 +30,10 @@ Intent kinds and their payloads:
 ``delete_version``      ``path``, ``version``, ``collectable`` container
                         ids, ``forget_similar`` flag
 ``delete_snapshot``     ``snapshot_id``, ``members`` considered for deletion
+``durability``          ``op`` (``tier`` or ``stripe``), the ``planned``
+                        replica/parity keys, and for ``tier`` the ``cid``,
+                        ``target`` class and payload ``sha``; for
+                        ``stripe`` the ``sid``
 ======================  =====================================================
 """
 
@@ -50,6 +54,7 @@ INTENT_KINDS = (
     "rewrite",
     "delete_version",
     "delete_snapshot",
+    "durability",
 )
 
 

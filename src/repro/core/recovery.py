@@ -55,6 +55,9 @@ class RecoveryReport:
     reaps_finished: list[int] = field(default_factory=list)
     #: Global-index entries re-pointed or removed.
     index_entries_fixed: int = 0
+    #: Durability-tier objects (replicas/parity/manifests) nothing
+    #: referenced after intents resolved — swept so no replica bytes leak.
+    replica_orphans_collected: list[str] = field(default_factory=list)
     #: Journal entries dropped by the final truncate.
     journal_truncated: int = 0
 
@@ -68,6 +71,7 @@ class RecoveryReport:
             or self.torn_damaged
             or self.reaps_finished
             or self.index_entries_fixed
+            or self.replica_orphans_collected
         )
 
 
@@ -90,6 +94,17 @@ class FsckReport:
     #: index has no per-container fingerprint list) and ``deep_clean``
     #: prunes them, so they do not make the repository unclean.
     dangling_index_entries: int = 0
+    #: Live containers the durability tier has no record for.
+    #: Informational: the next backup's retier pass tiers them.
+    durability_untiered: list[int] = field(default_factory=list)
+    #: (cid, recorded class, policy class) where the recorded durability
+    #: class lags the live refcount.  Informational: retier fixes it.
+    durability_class_mismatches: list[tuple[int, str, str]] = field(
+        default_factory=list
+    )
+    #: Replica copies or parity shards whose payload hash disagrees with
+    #: the committed record — real divergence; ``--repair`` re-tiers.
+    durability_divergent: list[tuple[int | None, str]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -99,6 +114,7 @@ class FsckReport:
             or self.torn_pairs
             or self.partial_reaps
             or self.orphan_candidates
+            or self.durability_divergent
         )
 
 
@@ -128,6 +144,12 @@ class RecoveryManager:
         for _fp, cid in index.iter_items():
             if not self.containers.exists(cid) and not self.containers.is_tombstoned(cid):
                 report.dangling_index_entries += 1
+        durability = self.storage.durability
+        if durability is not None:
+            audit = durability.audit(self.store.catalog.refcounts())
+            report.durability_untiered = audit.untiered
+            report.durability_class_mismatches = audit.class_mismatches
+            report.durability_divergent = audit.divergent_copies
         return report
 
     # --- repair ------------------------------------------------------------
@@ -146,6 +168,7 @@ class RecoveryManager:
             "snapshot": self._handle_snapshot,
             "delete_version": self._handle_delete_version,
             "delete_snapshot": self._handle_delete_snapshot,
+            "durability": self._handle_durability,
         }
         # Rewrite intents repair a possibly-torn container *in place*
         # (new data object, old metadata) and every other handler —
@@ -169,6 +192,12 @@ class RecoveryManager:
             self.containers.finish_reap(cid)
             report.reaps_finished.append(cid)
         self._reconcile_index(report)
+        if self.storage.durability is not None:
+            # After every intent resolved and the watermark GC ran, any
+            # durability object no committed record names is debris left
+            # by the crash — sweeping it here is the "no orphaned replica
+            # bytes" half of the durability tier's crash contract.
+            report.replica_orphans_collected = self.storage.durability.collect_orphans()
         report.journal_truncated = self.journal.truncate()
         if self._catalog_dirty:
             self.store._persist_catalog()
@@ -178,12 +207,36 @@ class RecoveryManager:
     def _handle_rewrite(self, intent: Intent, report: RecoveryReport) -> None:
         """In-place rewrite: the journaled SHA decides forward/backward."""
         payload = intent.payload
+        cid = int(payload["container_id"])
         done = self.containers.complete_rewrite(
-            int(payload["container_id"]),
+            cid,
             bytes.fromhex(payload["meta"]),
             str(payload["data_sha"]),
         )
         if done:
+            durability = self.storage.durability
+            if durability is not None and self.containers.exists(cid):
+                # The rewrite hook runs inside the rewrite's intent
+                # window, so a crash there may leave replicas/parity
+                # carrying the pre-rewrite payload; re-running it is
+                # idempotent once they already match.
+                durability.on_payload_changed(cid, self.containers.read_data(cid))
+            report.rolled_forward.append((intent.seq, intent.kind))
+        else:
+            report.discarded.append((intent.seq, intent.kind))
+
+    def _handle_durability(self, intent: Intent, report: RecoveryReport) -> None:
+        """Tier change: committed iff the record/stripe manifest landed."""
+        durability = self.storage.durability
+        if durability is None:
+            # Policy disabled since the crash: the planned replica/parity
+            # writes are debris no read path will ever consult.
+            for key in intent.payload.get("planned", []):
+                self.storage.oss.delete_object(self.containers._bucket, str(key))
+            report.discarded.append((intent.seq, intent.kind))
+            return
+        outcome = durability.resolve_intent(intent.payload)
+        if outcome == "rolled_forward":
             report.rolled_forward.append((intent.seq, intent.kind))
         else:
             report.discarded.append((intent.seq, intent.kind))

@@ -77,6 +77,11 @@ class RestoreResult:
         return self.counters.get("containers_read")
 
     @property
+    def degraded_chunk_reads(self) -> int:
+        """Chunks healed through the durability tier after a failed verify."""
+        return self.counters.get("degraded_chunk_reads")
+
+    @property
     def read_amplification(self) -> float:
         """OSS bytes read per restored byte."""
         if not self.data:
@@ -158,6 +163,8 @@ class RestoreEngine:
         plan = planner.plan(
             records, use_ranged, self.config.ranged_read_gap_bytes, breakdown, counters
         )
+        if plan.planned_degraded_reads:
+            counters.add("planned_degraded_reads", plan.planned_degraded_reads)
         setup_seconds = recipe_seconds + plan.plan_seconds
 
         cbf = CountingBloomFilter(max(64, len(records)), false_positive_rate=0.001)
@@ -204,10 +211,17 @@ class RestoreEngine:
             if check:
                 cpu += self.cost_model.fingerprint_cost(len(data))
                 if fingerprint(data) != record.fp:
-                    raise IntegrityError(
-                        f"chunk fingerprint mismatch restoring {path}@v{version} "
-                        f"(record {index})"
+                    healed, heal_seconds = self._heal_chunk(
+                        record, breakdown, counters
                     )
+                    demand_seconds[index] += heal_seconds
+                    if healed is None:
+                        raise IntegrityError(
+                            f"chunk fingerprint mismatch restoring {path}@v{version} "
+                            f"(record {index})"
+                        )
+                    data = healed
+                    cpu += self.cost_model.fingerprint_cost(len(data))
             output += data
             cpu += self.cost_model.cpu_restore_per_byte * len(data)
             breakdown.charge("other", cpu)
@@ -242,6 +256,45 @@ class RestoreEngine:
         )
 
     # ------------------------------------------------------------------
+    def _heal_chunk(
+        self,
+        record: ChunkRecord,
+        breakdown: TimeBreakdown,
+        counters: Counters,
+    ) -> tuple[bytes | None, float]:
+        """Re-fetch a verify-failed chunk through the durability tier.
+
+        A fingerprint mismatch at splice time means the bytes went bad in
+        flight or at rest.  With a durability tier the chunk is re-read
+        from a replica (or decoded from its erasure stripe) instead of
+        failing the restore — a *degraded read*, charged to the virtual
+        cost model as synchronous demand time the consumer blocked on.
+        Returns ``(payload, seconds)``; payload is None when no healthy
+        copy exists (the caller then raises :class:`IntegrityError`).
+        """
+        durability = self.storage.durability
+        if durability is None:
+            return None, 0.0
+        failovers_before = durability.replica_failovers
+        decodes_before = durability.erasure_decodes
+        with self.storage.meter_reads() as meter:
+            data = durability.fetch_chunk(record.container_id, record.fp)
+            if data is None:
+                # The chunk may have moved homes (reverse dedup / SCC):
+                # heal from the current owner's durability copies instead.
+                owner = self.storage.global_index.lookup(record.fp)
+                if owner is not None and owner != record.container_id:
+                    data = durability.fetch_chunk(owner, record.fp)
+        breakdown.charge("download", meter.seconds)
+        if data is None or fingerprint(data) != record.fp:
+            return None, meter.seconds
+        counters.add("degraded_chunk_reads")
+        counters.add(
+            "replica_failovers", durability.replica_failovers - failovers_before
+        )
+        counters.add("erasure_decodes", durability.erasure_decodes - decodes_before)
+        return data, meter.seconds
+
     def _execute_planned_read(
         self,
         plan: RestorePlan,

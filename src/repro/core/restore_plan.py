@@ -81,6 +81,10 @@ class RestorePlan:
     read_for_record: list[int] = field(default_factory=list)
     #: Virtual seconds spent on plan-time OSS traffic (meta pre-reads).
     plan_seconds: float = 0.0
+    #: Planned reads whose primary payload is already known to be gone —
+    #: with a durability tier these will be served degraded (replica or
+    #: erasure decode) instead of failing.
+    planned_degraded_reads: int = 0
 
     @property
     def planned_bytes(self) -> int:
@@ -146,6 +150,8 @@ class RestorePlanner:
                     container_bytes=size,
                 )
             )
+            if self.storage.containers.primary_missing(cid):
+                plan.planned_degraded_reads += 1
         return plan
 
     # --- ranged schedule ------------------------------------------------------
@@ -191,6 +197,8 @@ class RestorePlanner:
                         container_bytes=self.storage.containers.container_size(cid),
                     )
                 )
+                if self.storage.containers.primary_missing(cid):
+                    plan.planned_degraded_reads += 1
             for index, record in enumerate(plan.resolved):
                 triggers = first_use[record.container_id] == index
                 plan.read_for_record.append(

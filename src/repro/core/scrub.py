@@ -195,12 +195,21 @@ class RepositoryScrubber:
     ) -> bytes | None:
         """Verified bytes for ``fp`` from any container but ``exclude_cid``.
 
-        The global-index owner is tried first (the redirect path restores
-        already use); failing that, every other container is scanned —
-        including entries marked deleted, whose bytes survive until the
-        container is rewritten and are a legitimate repair source.
+        The durability tier is consulted first: the damaged container's
+        own replicas or erasure stripe hold the exact bytes the scrub is
+        repairing, so a single failover read beats any scan (and with a
+        durability tier a domain-wide outage repairs with zero
+        quarantines).  After that the global-index owner is tried (the
+        redirect path restores already use); failing that, every other
+        container is scanned — including entries marked deleted, whose
+        bytes survive until the container is rewritten and are a
+        legitimate repair source.
         """
         containers = self.storage.containers
+        if containers.durability is not None:
+            chunk = containers.durability.fetch_chunk(exclude_cid, fp)
+            if chunk is not None and len(chunk) == size:
+                return chunk
         candidates: list[int] = []
         owner = self.storage.global_index.lookup(fp)
         if owner is not None and owner != exclude_cid:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.container import ContainerStore
+from repro.core.durability import DurabilityManager, ReplicationPolicy
 from repro.core.global_index import GlobalIndex
 from repro.core.journal import IntentJournal
 from repro.core.recipe import RecipeStore
@@ -52,6 +53,8 @@ class StorageLayer:
     similar_index: SimilarFileIndex
     global_index: GlobalIndex
     journal: IntentJournal
+    #: The heat-aware replication/erasure tier (None when disabled).
+    durability: DurabilityManager | None = None
 
     def meter_reads(self) -> ReadMeter:
         """A :class:`ReadMeter` over this layer's OSS endpoint."""
@@ -68,6 +71,7 @@ class StorageLayer:
         retry_policy: RetryPolicy | None = None,
         index_shard_count: int = 1,
         tombstone_grace_epochs: int = 0,
+        durability_policy: ReplicationPolicy | None = None,
     ) -> "StorageLayer":
         """Create all stores on one OSS endpoint.
 
@@ -79,14 +83,19 @@ class StorageLayer:
         """
         endpoint = oss if retry_policy is None else RetryingObjectStore(oss, retry_policy)
         journal = IntentJournal(endpoint, bucket)
+        containers = ContainerStore(
+            endpoint,
+            bucket,
+            journal=journal,
+            grace_epochs=tombstone_grace_epochs,
+        )
+        durability = None
+        if durability_policy is not None:
+            durability = DurabilityManager(containers, durability_policy, journal)
+            containers.durability = durability
         return cls(
             oss=endpoint,
-            containers=ContainerStore(
-                endpoint,
-                bucket,
-                journal=journal,
-                grace_epochs=tombstone_grace_epochs,
-            ),
+            containers=containers,
             recipes=RecipeStore(endpoint, bucket),
             similar_index=SimilarFileIndex(endpoint, bucket),
             global_index=GlobalIndex(
@@ -97,4 +106,5 @@ class StorageLayer:
                 shard_count=index_shard_count,
             ),
             journal=journal,
+            durability=durability,
         )

@@ -47,6 +47,9 @@ class BackupReport:
     #: True when this version was persisted (or left) without complete
     #: dedup verification; :meth:`SlimStore.reclaim_degraded` clears it.
     degraded: bool = False
+    #: Durability re-tiering pass this backup triggered (None when the
+    #: tier is disabled or the pass was skipped).
+    retier: "object | None" = None
 
     @property
     def path(self) -> str:
@@ -86,6 +89,8 @@ class SpaceReport:
     recipe_bytes: int
     global_index_bytes: int
     similar_index_bytes: int
+    #: Replicas, parity shards and manifests of the durability tier.
+    durability_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -95,6 +100,7 @@ class SpaceReport:
             + self.recipe_bytes
             + self.global_index_bytes
             + self.similar_index_bytes
+            + self.durability_bytes
         )
 
 
@@ -214,6 +220,14 @@ class VersionCatalog:
         """Every container referenced by at least one committed version."""
         return {cid for cid, count in self._refcount.items() if count > 0}
 
+    def refcount(self, container_id: int) -> int:
+        """Live versions referencing one container (its "heat")."""
+        return max(0, self._refcount.get(container_id, 0))
+
+    def refcounts(self) -> dict[int, int]:
+        """Per-container live reference counts (positive entries only)."""
+        return {cid: count for cid, count in self._refcount.items() if count > 0}
+
     def add_garbage(self, path: str, version: int, container_ids: list[int]) -> None:
         """Associate extra garbage candidates (e.g. compacted sparse
         containers) with a version."""
@@ -266,6 +280,7 @@ class SlimStore:
             retry_policy=retry_policy,
             index_shard_count=self.config.index_shard_count,
             tombstone_grace_epochs=self.config.tombstone_grace_epochs,
+            durability_policy=self.config.durability_policy(),
         )
         self.lnodes = [
             LNode(i, self.config, self.storage, self.cost_model)
@@ -304,6 +319,8 @@ class SlimStore:
         """
         intents = self.storage.journal.recover()
         self.storage.containers.recover()
+        if self.storage.durability is not None:
+            self.storage.durability.recover()
         self.storage.similar_index.load()
         self.storage.global_index.recover()
         reserved = [
@@ -438,7 +455,23 @@ class SlimStore:
             # once the catalog republish above is durable has the version
             # fully converged on the compacted layout.
             journal.close(compaction_report.journal_seq)
-        return BackupReport(result, reverse_report, compaction_report, degraded)
+
+        # Durability re-tiering joins the maintenance pass: reference
+        # counts have settled (including any compaction fix-up above), so
+        # promotion/demotion sees the version's final heat.  A tier that
+        # cannot reach OSS never fails the backup — the next pass
+        # converges it.
+        retier_report = None
+        if run_gnode and self.storage.durability is not None:
+            try:
+                retier_report = self.gnode.retier(self.catalog.refcounts())
+            except SimulatedCrashError:
+                raise
+            except (TransientOSSError, RetryExhaustedError):
+                pass
+        return BackupReport(
+            result, reverse_report, compaction_report, degraded, retier_report
+        )
 
     def restore(
         self,
@@ -638,4 +671,9 @@ class SlimStore:
             recipe_bytes=self.storage.recipes.stored_bytes(),
             global_index_bytes=self.storage.global_index.stored_bytes(),
             similar_index_bytes=self.storage.similar_index.stored_bytes(),
+            durability_bytes=(
+                self.storage.durability.stored_bytes()
+                if self.storage.durability is not None
+                else 0
+            ),
         )

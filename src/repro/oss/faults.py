@@ -16,7 +16,11 @@ Two deterministic schedule controls exist beyond the per-operation rates:
   :meth:`FaultPolicy.revive` is called (models a full outage);
 * :meth:`FaultPolicy.outage` / :meth:`FaultPolicy.revive` — force the
   failure rate of selected operations to 1.0 and back (models a partial
-  outage, e.g. reads failing while writes drain);
+  outage, e.g. reads failing while writes drain);  with ``domain=`` the
+  outage is scoped to one simulated fault domain: only keys placed in
+  that domain (container payloads by ``cid % fault_domains``, durability
+  copies/parity by their ``durability/d<N>/`` prefix) fail, which is how
+  the durability tier's replica placement is tested;
 * :meth:`FaultPolicy.crash_after_writes` — process death: the N-th write
   request (PUT or DELETE, zero-based) raises
   :class:`~repro.errors.SimulatedCrashError` *before* the backend is
@@ -39,6 +43,35 @@ from repro.sim.metrics import FaultStats
 
 #: Operations a policy can inject faults into.
 FAULT_OPS = ("get", "put", "delete", "list", "head")
+
+
+def key_fault_domain(key: str, domains: int) -> int | None:
+    """The simulated fault domain an object key is placed in, or None.
+
+    Data-plane placement mirrors the durability tier's layout:
+
+    * container payloads ``containers/<cid>.data`` land on ``cid % domains``;
+    * durability copies and parity under ``durability/d<N>/...`` land on
+      domain ``N``.
+
+    Everything else (metadata, journal, recipes, indexes, durability
+    manifests) is control plane — replicated out-of-band in a real
+    deployment — and returns None: a domain-scoped outage never touches
+    it.
+    """
+    if domains <= 0:
+        return None
+    if key.startswith("containers/") and key.endswith(".data"):
+        stem = key[len("containers/"):-len(".data")]
+        if stem.isdigit():
+            return int(stem) % domains
+        return None
+    if key.startswith("durability/d"):
+        stem = key[len("durability/d"):]
+        head, _, rest = stem.partition("/")
+        if head.isdigit() and rest:
+            return int(head) % domains
+    return None
 
 
 @dataclass
@@ -69,6 +102,9 @@ class FaultPolicy:
     #: After this many requests the endpoint fails everything until
     #: :meth:`revive` (None disables the kill switch).
     kill_after_requests: int | None = None
+    #: Simulated fault domains for :meth:`outage`'s ``domain=`` scoping
+    #: (0 disables domain mapping; see :func:`key_fault_domain`).
+    fault_domains: int = 0
 
     stats: FaultStats = field(default_factory=FaultStats, repr=False)
 
@@ -79,6 +115,9 @@ class FaultPolicy:
         self._rng = random.Random(self.seed)
         self._requests_seen = 0
         self._outage_ops: set[str] = set()
+        self._domain_outages: dict[int, set[str]] = {}
+        if self.fault_domains < 0:
+            raise ValueError(f"fault_domains cannot be negative: {self.fault_domains}")
         self._writes_seen = 0
         self._crash_at_write: int | None = None
         self._crashed_at: int | None = None
@@ -92,16 +131,41 @@ class FaultPolicy:
                 raise ValueError(f"{name} out of [0, 1]: {rate}")
 
     # --- schedule controls -------------------------------------------------
-    def outage(self, ops: set[str] | None = None) -> None:
-        """Fail every request of the given operations (default: all)."""
+    def outage(self, ops: set[str] | None = None, domain: int | None = None) -> None:
+        """Fail every request of the given operations (default: all).
+
+        With ``domain=`` the outage only hits requests whose key maps to
+        that fault domain (see :func:`key_fault_domain`); ``fault_domains``
+        must be set on the policy.  Endpoint-wide and per-domain outages
+        stack independently.
+        """
         bad = (ops or set(FAULT_OPS)) - set(FAULT_OPS)
         if bad:
             raise ValueError(f"unknown fault operations: {sorted(bad)}")
-        self._outage_ops = set(ops) if ops is not None else set(FAULT_OPS)
+        affected = set(ops) if ops is not None else set(FAULT_OPS)
+        if domain is None:
+            self._outage_ops = affected
+            return
+        if self.fault_domains <= 0:
+            raise ValueError("domain-scoped outage needs fault_domains > 0")
+        if not 0 <= domain < self.fault_domains:
+            raise ValueError(
+                f"domain out of range [0, {self.fault_domains}): {domain}"
+            )
+        self._domain_outages[domain] = affected
 
-    def revive(self) -> None:
-        """End any outage and re-arm the kill switch counter."""
+    def revive(self, domain: int | None = None) -> None:
+        """End an outage; with no ``domain``, everything is revived.
+
+        ``revive()`` ends the endpoint-wide outage, every per-domain
+        outage and the kill switch; ``revive(domain=n)`` lifts only that
+        domain's outage.
+        """
+        if domain is not None:
+            self._domain_outages.pop(domain, None)
+            return
         self._outage_ops = set()
+        self._domain_outages = {}
         self.kill_after_requests = None
 
     def crash_after_writes(self, surviving_writes: int) -> None:
@@ -178,6 +242,14 @@ class FaultPolicy:
             else:
                 self.stats.transient_errors += 1
             raise TransientOSSError(op, bucket, key, reason="endpoint down")
+        if self._domain_outages:
+            domain = key_fault_domain(key, self.fault_domains)
+            if domain is not None and op in self._domain_outages.get(domain, ()):
+                self.stats.faults_injected += 1
+                self.stats.transient_errors += 1
+                raise TransientOSSError(
+                    op, bucket, key, reason=f"fault domain {domain} down"
+                )
         extra = 0.0
         if self.latency_spike_rate and self._rng.random() < self.latency_spike_rate:
             self.stats.faults_injected += 1

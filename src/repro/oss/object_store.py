@@ -180,8 +180,7 @@ class ObjectStorageService:
         data = backend.get(key)
         if data is None:
             raise ObjectNotFoundError(bucket, key)
-        if self.faults is not None:
-            data = self._filter_read(data)
+        data = self._filter_read(data)
         self._charge_read(len(data), channels, piggyback, extra)
         return data
 
@@ -200,8 +199,7 @@ class ObjectStorageService:
                 f"{len(data)} bytes: oss://{bucket}/{key}"
             )
         chunk = data[offset : offset + length]
-        if self.faults is not None:
-            chunk = self._filter_read(chunk)
+        chunk = self._filter_read(chunk)
         self._charge_read(length, channels, extra=extra)
         return chunk
 
@@ -229,8 +227,7 @@ class ObjectStorageService:
                     f"{len(data)} bytes: oss://{bucket}/{key}"
                 )
             chunk = data[offset : offset + length]
-            if self.faults is not None:
-                chunk = self._filter_read(chunk)
+            chunk = self._filter_read(chunk)
             self._charge_read(length, channels, extra=extra)
             results.append(chunk)
         return results
@@ -321,7 +318,14 @@ class ObjectStorageService:
         return extra
 
     def _filter_read(self, data: bytes) -> bytes:
-        """Apply read-corruption faults, mirroring counts into OssStats."""
+        """Apply read-corruption faults, mirroring counts into OssStats.
+
+        The single corruption path for every GET payload: whole-object
+        reads and each ranged span all pass through here, so bit-flip
+        injection coverage is identical regardless of access pattern.
+        """
+        if self.faults is None:
+            return data
         before = self.faults.stats.corrupt_reads
         data = self.faults.filter_read(data)
         self.stats.faults_injected += self.faults.stats.corrupt_reads - before

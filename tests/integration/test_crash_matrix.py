@@ -58,9 +58,9 @@ def reattach(store: SlimStore) -> SlimStore:
     return survivor
 
 
-def count_writes(base_state, action) -> int:
+def count_writes(base_state, action, config=SMALL_CONFIG) -> int:
     """Probe run: how many OSS writes does ``action`` perform?"""
-    probe = attach(base_state)
+    probe = attach(base_state, config)
     policy = FaultPolicy()
     probe.oss.set_fault_policy(policy)
     action(probe)
@@ -68,12 +68,12 @@ def count_writes(base_state, action) -> int:
     return policy.writes_seen
 
 
-def run_matrix(base_state, action, verify) -> int:
+def run_matrix(base_state, action, verify, config=SMALL_CONFIG) -> int:
     """Crash ``action`` at every write index; recover; verify. Returns N."""
-    total_writes = count_writes(base_state, action)
+    total_writes = count_writes(base_state, action, config)
     assert total_writes > 0
     for crash_at in range(total_writes):
-        store = attach(base_state)
+        store = attach(base_state, config)
         policy = FaultPolicy()
         policy.crash_after_writes(crash_at)
         store.oss.set_fault_policy(policy)

@@ -141,6 +141,28 @@ class TestCorruptReads:
         assert len(got) == 64
         assert got != bytes(range(16, 80))
 
+    def test_get_ranges_spans_share_the_corruption_path(self):
+        """Regression: multi-span GETs run each span through the same
+        bit-flip filter as whole-object GETs — spans are not a loophole."""
+        store = make_store(None)
+        data = bytes(range(256))
+        store.put_object("b", "k", data)
+        store.set_fault_policy(FaultPolicy(corrupt_read_rate=1.0))
+        spans = [(0, 64), (64, 64), (200, 56)]
+        chunks = store.get_ranges("b", "k", spans)
+        assert [len(chunk) for chunk in chunks] == [64, 64, 56]
+        # Every span is independently flipped: one bit each, right length.
+        for (offset, length), chunk in zip(spans, chunks):
+            expected = data[offset : offset + length]
+            diff = [a ^ b for a, b in zip(chunk, expected) if a != b]
+            assert len(diff) == 1 and bin(diff[0]).count("1") == 1
+        assert store.faults.stats.corrupt_reads == len(spans)
+        # The stored object is untouched once the policy is lifted.
+        store.set_fault_policy(None)
+        assert store.get_ranges("b", "k", spans) == [
+            data[o : o + n] for o, n in spans
+        ]
+
 
 class TestLatencySpikes:
     def test_spike_charged_to_virtual_clock(self):
@@ -179,6 +201,71 @@ class TestKillSwitchAndOutage:
         store.put_object("b", "k2", b"y")  # writes still drain
         store.faults.revive()
         assert store.get_object("b", "k") == b"x"
+
+
+class TestFaultDomains:
+    def test_key_fault_domain_mapping(self):
+        from repro.oss.faults import key_fault_domain
+
+        # Container payloads land on cid % domains.
+        assert key_fault_domain("containers/000000000004.data", 3) == 1
+        assert key_fault_domain("containers/000000000006.data", 3) == 0
+        # Durability copies and parity land on their d<N>/ prefix.
+        assert key_fault_domain("durability/d2/000000000007.copy0", 3) == 2
+        assert key_fault_domain("durability/d1/stripe00000003.p0", 3) == 1
+        # Control plane (meta, journal, manifests) has no domain.
+        assert key_fault_domain("containers/000000000004.meta", 3) is None
+        assert key_fault_domain("durability/records/000000000004.json", 3) is None
+        assert key_fault_domain("journal/000001.json", 3) is None
+        # Disabled mapping: everything is domainless.
+        assert key_fault_domain("containers/000000000004.data", 0) is None
+
+    def test_domain_outage_only_fails_that_domain(self):
+        policy = FaultPolicy(fault_domains=3)
+        store = make_store(policy)
+        for cid in range(3):
+            store.put_object("b", f"containers/{cid:012d}.data", b"x")
+            store.put_object("b", f"containers/{cid:012d}.meta", b"m")
+        policy.outage({"get"}, domain=1)
+        # Domain 1's payload is down; other domains and the control
+        # plane (.meta keys map to no domain) keep serving.
+        with pytest.raises(TransientOSSError):
+            store.get_object("b", "containers/000000000001.data")
+        assert store.get_object("b", "containers/000000000000.data") == b"x"
+        assert store.get_object("b", "containers/000000000002.data") == b"x"
+        assert store.get_object("b", "containers/000000000001.meta") == b"m"
+        # Writes into the domain still fail only for the chosen ops.
+        store.put_object("b", "containers/000000000001.data", b"y")
+
+    def test_domain_outages_stack_and_revive_individually(self):
+        policy = FaultPolicy(fault_domains=3)
+        store = make_store(policy)
+        store.put_object("b", "durability/d0/000000000001.copy0", b"a")
+        store.put_object("b", "durability/d1/000000000001.copy1", b"b")
+        policy.outage({"get"}, domain=0)
+        policy.outage({"get"}, domain=1)
+        with pytest.raises(TransientOSSError):
+            store.get_object("b", "durability/d0/000000000001.copy0")
+        with pytest.raises(TransientOSSError):
+            store.get_object("b", "durability/d1/000000000001.copy1")
+        policy.revive(domain=0)
+        assert store.get_object("b", "durability/d0/000000000001.copy0") == b"a"
+        with pytest.raises(TransientOSSError):
+            store.get_object("b", "durability/d1/000000000001.copy1")
+        policy.revive()  # bare revive lifts everything
+        assert store.get_object("b", "durability/d1/000000000001.copy1") == b"b"
+
+    def test_domain_outage_validation(self):
+        policy = FaultPolicy()  # fault_domains defaults to 0
+        with pytest.raises(ValueError):
+            policy.outage({"get"}, domain=0)
+        scoped = FaultPolicy(fault_domains=3)
+        with pytest.raises(ValueError):
+            scoped.outage({"get"}, domain=3)
+        with pytest.raises(ValueError):
+            scoped.outage({"get"}, domain=-1)
+        with pytest.raises(ValueError):
+            FaultPolicy(fault_domains=-1)
 
 
 class TestRetryPolicyValidation:
