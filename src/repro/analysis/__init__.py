@@ -1,0 +1,17 @@
+"""Offline analysis: analytical bounds the running system is graded against."""
+
+from repro.analysis.oracle import (
+    ConformanceReport,
+    OracleBound,
+    chunk_duplicate_bound,
+    conformance,
+    measured_dedup_ratio,
+)
+
+__all__ = [
+    "OracleBound",
+    "ConformanceReport",
+    "chunk_duplicate_bound",
+    "measured_dedup_ratio",
+    "conformance",
+]

@@ -1,0 +1,181 @@
+"""Analytical deduplication oracle: how much dedup is *achievable*.
+
+The conformance suite grades the running system against two analytical
+bounds computed directly from the workload, independent of the dedup
+engine:
+
+* **Chunk-multiset bound.**  Cut every file of every version with the
+  *configured* chunker and count distinct fingerprints: the payload a
+  perfect chunk-level deduplicator must still store is exactly the
+  distinct-chunk bytes, so ``1 - distinct / logical`` is the best ratio
+  any system using that chunking can reach.  SLIMSTORE's measured ratio
+  must land within a declared gap *below* this bound — the gap is the
+  price of inline approximations (similarity grouping, skip chunking,
+  superchunk copies) that the out-of-line reverse pass does not fully
+  claw back.
+* **Entropy (innovation) bound.**  In the style of Niesen's
+  information-theoretic analysis of deduplication, the generators count
+  every *fresh uniformly random byte they draw* (``fresh_random_bytes``,
+  the innovation of the mutation process).  Incompressible innovation
+  must be stored at least once by any lossless system, so
+  ``1 - fresh / logical`` is a ceiling on the achievable ratio for the
+  whole source, independent even of chunking.  It is reported alongside
+  the chunk bound; it can sit slightly *below* the chunk bound when the
+  generator overwrites freshly drawn bytes within a single version (the
+  innovation was drawn but never snapshotted).
+
+Both bounds are exact computations, not estimates — the only Monte Carlo
+element is the workload itself, which is seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.chunking.base import make_chunker
+from repro.core.config import SlimStoreConfig
+from repro.fingerprint.hashing import fingerprint
+from repro.workloads.base import DatasetVersion
+
+
+@dataclass(frozen=True)
+class OracleBound:
+    """Analytical bounds for one workload at one chunking configuration."""
+
+    logical_bytes: int
+    #: Bytes of the distinct-chunk multiset at the configured chunking.
+    distinct_chunk_bytes: int
+    distinct_chunks: int
+    total_chunks: int
+    #: Innovation of the generating process (fresh random bytes drawn),
+    #: or ``None`` when the workload's innovation is unknown (e.g. an
+    #: externally recorded trace).
+    fresh_random_bytes: int | None = None
+
+    @property
+    def chunk_bound_ratio(self) -> float:
+        """Best dedup ratio achievable at this chunking (exact)."""
+        if not self.logical_bytes:
+            return 0.0
+        return 1.0 - self.distinct_chunk_bytes / self.logical_bytes
+
+    @property
+    def entropy_bound_ratio(self) -> float | None:
+        """Information-theoretic ceiling from the innovation process."""
+        if self.fresh_random_bytes is None or not self.logical_bytes:
+            return None
+        return 1.0 - self.fresh_random_bytes / self.logical_bytes
+
+
+def chunk_duplicate_bound(
+    versions: Iterable[DatasetVersion],
+    config: SlimStoreConfig,
+    fresh_random_bytes: int | None = None,
+) -> OracleBound:
+    """Exact chunk-multiset bound for a version stream.
+
+    Chunks every file with ``config``'s chunker at ``config``'s
+    parameters — the same cut discipline the L-node applies — and
+    fingerprints each chunk.  Distinct fingerprints are the irreducible
+    payload.
+    """
+    chunker = make_chunker(config.chunker, config.chunker_params())
+    seen: set[bytes] = set()
+    logical = 0
+    distinct_bytes = 0
+    total_chunks = 0
+    for version in versions:
+        for item in version.files:
+            logical += len(item.data)
+            for chunk in chunker.chunk(item.data):
+                total_chunks += 1
+                fp = fingerprint(chunk.data)
+                if fp not in seen:
+                    seen.add(fp)
+                    distinct_bytes += chunk.size
+    return OracleBound(
+        logical_bytes=logical,
+        distinct_chunk_bytes=distinct_bytes,
+        distinct_chunks=len(seen),
+        total_chunks=total_chunks,
+        fresh_random_bytes=fresh_random_bytes,
+    )
+
+
+def measured_dedup_ratio(store, logical_bytes: int) -> float:
+    """The system's achieved ratio, after maintenance settles.
+
+    Counts *live* payload bytes — chunks the reverse pass marked deleted
+    no longer count even before their container is rewritten, because
+    sparse compaction is free to reclaim them at any time.  Enumerates
+    the containers actually on OSS rather than the catalog's references:
+    old recipes may still point at containers reverse dedup emptied and
+    GC deleted (restore redirects those chunks through the global
+    index), and those phantom ids hold zero bytes.
+    """
+    containers = store.storage.containers
+    live = sum(
+        containers.read_meta(cid).live_bytes()
+        for cid in containers.container_ids()
+    )
+    if not logical_bytes:
+        return 0.0
+    return 1.0 - live / logical_bytes
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """One workload's measured ratio next to its analytical bounds."""
+
+    workload: str
+    seed: int
+    bound: OracleBound
+    measured_ratio: float
+
+    @property
+    def gap(self) -> float:
+        """Achievable-minus-achieved: bound ratio minus measured ratio."""
+        return self.bound.chunk_bound_ratio - self.measured_ratio
+
+    def check(self, max_gap: float, overshoot: float = 0.01) -> None:
+        """Assert the measured ratio conforms to the oracle.
+
+        ``max_gap`` is the declared allowance below the chunk bound;
+        ``overshoot`` tolerates the measured ratio landing marginally
+        *above* the bound (skip chunking and chunk merging cut slightly
+        different boundaries than the oracle's plain CDC pass, so the
+        system's distinct-chunk multiset is not byte-identical to the
+        oracle's).
+        """
+        bound = self.bound.chunk_bound_ratio
+        if self.measured_ratio > bound + overshoot:
+            raise AssertionError(
+                f"{self.workload}/seed={self.seed}: measured ratio "
+                f"{self.measured_ratio:.4f} exceeds the chunk-multiset "
+                f"bound {bound:.4f} by more than {overshoot:.2%} — the "
+                f"accounting is broken, not the dedup"
+            )
+        if self.gap > max_gap:
+            raise AssertionError(
+                f"{self.workload}/seed={self.seed}: measured ratio "
+                f"{self.measured_ratio:.4f} trails the chunk-multiset "
+                f"bound {bound:.4f} by {self.gap:.4f} "
+                f"(declared gap {max_gap:.4f})"
+            )
+
+
+def conformance(
+    workload: str,
+    seed: int,
+    versions: list[DatasetVersion],
+    store,
+    config: SlimStoreConfig,
+    fresh_random_bytes: int | None = None,
+) -> ConformanceReport:
+    """Bound + measured ratio for a version stream already backed up."""
+    bound = chunk_duplicate_bound(versions, config, fresh_random_bytes)
+    measured = measured_dedup_ratio(store, bound.logical_bytes)
+    return ConformanceReport(
+        workload=workload, seed=seed, bound=bound, measured_ratio=measured
+    )

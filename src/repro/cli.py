@@ -19,6 +19,9 @@ Usage::
                             [--replicas N] [--hot-refs N] [--cold-refs N]
                             [--data-shards K] [--parity-shards M]
                             [--fault-domains D]
+    python -m repro trace record OUT --generator NAME [--seed N]
+                            [--versions N]
+    python -m repro trace replay REPO TRACE [--verify]
 
 Example::
 
@@ -424,6 +427,77 @@ def _cmd_durability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.workloads import make_generator
+    from repro.workloads.trace import write_trace
+
+    try:
+        generator = make_generator(
+            args.generator, seed=args.seed, version_count=args.versions
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    versions = generator.versions()
+    summary = generator.summary()
+    meta = {
+        "generator": args.generator,
+        "seed": args.seed,
+        "version_count": len(versions),
+        "fresh_random_bytes": generator.fresh_random_bytes,
+        "summary": dict(summary.rows()),
+    }
+    count = write_trace(args.output, versions, name=summary.name, meta=meta)
+    total = sum(version.total_bytes for version in versions)
+    print(
+        f"recorded {summary.name}: {count} versions, "
+        f"{total} logical bytes -> {args.output}"
+    )
+    print(
+        f"  cross-version duplication {summary.cross_version_duplication:.2f}, "
+        f"intra-version {summary.intra_version_duplication:.1%}, "
+        f"innovation {generator.fresh_random_bytes} bytes"
+    )
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from repro.workloads.trace import read_trace, replay_into
+
+    trace = read_trace(args.trace)
+    store = open_repository(args.repo)
+    assigned = replay_into(store, trace)
+    logical = trace.total_bytes
+    print(
+        f"replayed {trace.name or args.trace}: {len(trace.versions)} versions, "
+        f"{len(assigned)} backups, {logical} logical bytes"
+    )
+    space = store.space_report()
+    stored = space.container_bytes
+    ratio = 1.0 - stored / logical if logical else 0.0
+    print(f"  stored {stored} container bytes (dedup {ratio:.1%})")
+    if args.verify:
+        checksums = trace.checksums()
+        failures = 0
+        for (path, trace_version), store_version in sorted(assigned.items()):
+            restored = store.restore(path, store_version)
+            digest = hashlib.sha256(restored.data).hexdigest()
+            if digest != checksums[(path, trace_version)]:
+                failures += 1
+                print(
+                    f"  MISMATCH {path}@v{store_version} "
+                    f"(trace v{trace_version})",
+                    file=sys.stderr,
+                )
+        if failures:
+            print(f"verify FAILED: {failures} mismatched restores",
+                  file=sys.stderr)
+            return 1
+        print(f"  verify OK: {len(assigned)} restores match the trace")
+    return 0
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     store = open_repository(args.repo)
     index = store.storage.global_index
@@ -546,6 +620,34 @@ def build_parser() -> argparse.ArgumentParser:
                             default=defaults.fault_domains,
                             help="simulated fault domains for placement")
     durability.set_defaults(handler=_cmd_durability)
+
+    from repro.workloads import GENERATOR_NAMES
+
+    trace = commands.add_parser(
+        "trace", help="record or replay a workload trace (JSONL)"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_commands.add_parser(
+        "record", help="generate a workload and write it as a trace file"
+    )
+    trace_record.add_argument("output", help="trace file to write (JSONL)")
+    trace_record.add_argument("--generator", required=True,
+                              choices=list(GENERATOR_NAMES),
+                              help="workload generator to record")
+    trace_record.add_argument("--seed", type=int, default=None,
+                              help="generator seed (default: the workload's)")
+    trace_record.add_argument("--versions", type=int, default=None,
+                              help="backup versions to generate")
+    trace_record.set_defaults(handler=_cmd_trace_record)
+    trace_replay = trace_commands.add_parser(
+        "replay", help="drive a trace file's backups into a repository"
+    )
+    trace_replay.add_argument("repo", help="repository directory")
+    trace_replay.add_argument("trace", help="trace file to replay")
+    trace_replay.add_argument("--verify", action="store_true",
+                              help="restore every replayed backup and check "
+                                   "it against the trace checksums")
+    trace_replay.set_defaults(handler=_cmd_trace_replay)
     return parser
 
 

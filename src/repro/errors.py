@@ -103,6 +103,10 @@ class KVStoreError(ReproError):
     """The LSM key-value store hit an inconsistent state."""
 
 
+class TraceError(ReproError):
+    """A workload trace file is malformed or fails verification."""
+
+
 class VersionNotFoundError(ReproError, KeyError):
     """The requested backup version does not exist for this file."""
 

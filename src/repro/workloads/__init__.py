@@ -1,4 +1,6 @@
-"""Synthetic backup workloads matched to the paper's datasets (Table I).
+"""Synthetic backup workloads and the replayable trace format.
+
+The two paper datasets (Table I):
 
 * **S-DB** — "a set of database files, and each table is simulated by the
   insert, update, and delete operations.  By adjusting parameters, we can
@@ -8,20 +10,117 @@
   summary statistics are published (13 versions, 7440 files, dup ratio
   0.92, 0.1% self-reference); we generate a workload matched to them.
 
-Both generators are fully seeded and scale-parameterised: experiments run
+Three diversity workloads beyond the paper (see ``docs/WORKLOADS.md``):
+
+* **VM-Fleet** — few large sparse images, block-aligned churn, and
+  fleet-wide cross-file duplication (the out-of-line dedup showcase);
+* **Src-Tree** — many small files with edits, renames and branch copies;
+* **Mail-Log** — append-heavy mailboxes/logs with rare compactions (the
+  inline-dedup showcase).
+
+All generators are fully seeded and scale-parameterised: experiments run
 at laptop scale (MBs) while preserving the ratios the paper reports.
+:mod:`repro.workloads.trace` records any version stream to a replayable
+JSONL trace and back (``repro trace record | replay``).
 """
 
-from repro.workloads.base import BackupFile, DatasetSummary, DatasetVersion
-from repro.workloads.sdb import SDBConfig, SDBGenerator
+from repro.workloads.base import (
+    BackupFile,
+    DatasetSummary,
+    DatasetVersion,
+    DuplicationBreakdown,
+    WorkloadGenerator,
+    measure_duplication,
+)
+from repro.workloads.maillog import MailLogConfig, MailLogGenerator
 from repro.workloads.rdata import RDataConfig, RDataGenerator
+from repro.workloads.sdb import SDBConfig, SDBGenerator
+from repro.workloads.srctree import SrcTreeConfig, SrcTreeGenerator
+from repro.workloads.trace import (
+    TRACE_SCHEMA,
+    WorkloadTrace,
+    read_trace,
+    replay_into,
+    write_trace,
+)
+from repro.workloads.vmfleet import VMFleetConfig, VMFleetGenerator
+
+#: Canonical CLI/test names of every generator.
+GENERATOR_NAMES = ("sdb", "rdata", "vmfleet", "srctree", "maillog")
+
+
+def make_generator(
+    name: str, seed: int | None = None, version_count: int | None = None, **overrides
+) -> WorkloadGenerator:
+    """Build a generator by its canonical name at small (CLI/test) scale.
+
+    The per-generator base shapes are deliberately tiny — a few MB of
+    logical data — so traces recorded from the CLI and the conformance
+    matrix in CI stay fast; pass ``**overrides`` (config field names) to
+    rescale.
+    """
+    bases: dict[str, tuple[type, type, dict]] = {
+        "sdb": (
+            SDBConfig,
+            SDBGenerator,
+            dict(table_count=2, initial_table_bytes=256 * 1024, version_count=6),
+        ),
+        "rdata": (
+            RDataConfig,
+            RDataGenerator,
+            dict(file_count=16, version_count=6, max_file_bytes=128 * 1024),
+        ),
+        "vmfleet": (
+            VMFleetConfig,
+            VMFleetGenerator,
+            dict(image_count=3, image_bytes=256 * 1024, version_count=6),
+        ),
+        "srctree": (
+            SrcTreeConfig,
+            SrcTreeGenerator,
+            dict(file_count=48, version_count=6),
+        ),
+        "maillog": (
+            MailLogConfig,
+            MailLogGenerator,
+            dict(mailbox_count=3, initial_records=24, version_count=6),
+        ),
+    }
+    if name not in bases:
+        raise ValueError(
+            f"unknown generator {name!r} (choose from {sorted(bases)})"
+        )
+    config_cls, generator_cls, shape = bases[name]
+    if seed is not None:
+        shape["seed"] = seed
+    if version_count is not None:
+        shape["version_count"] = version_count
+    shape.update(overrides)
+    return generator_cls(config_cls(**shape))
+
 
 __all__ = [
     "BackupFile",
     "DatasetVersion",
     "DatasetSummary",
+    "DuplicationBreakdown",
+    "WorkloadGenerator",
+    "measure_duplication",
     "SDBConfig",
     "SDBGenerator",
     "RDataConfig",
     "RDataGenerator",
+    "VMFleetConfig",
+    "VMFleetGenerator",
+    "SrcTreeConfig",
+    "SrcTreeGenerator",
+    "MailLogConfig",
+    "MailLogGenerator",
+    "GENERATOR_NAMES",
+    "make_generator",
+    "TRACE_SCHEMA",
+    "WorkloadTrace",
+    "read_trace",
+    "write_trace",
+    "replay_into",
 ]

@@ -1,0 +1,137 @@
+"""The Mail-Log workload: append-heavy mailboxes and service logs.
+
+A handful of mailbox/log files that *grow*: every version appends a batch
+of fresh records to each file, and only rarely does a compaction pass
+rewrite a file in place (dropping a prefix of old records — log rotation,
+mailbox expunge).  This is the friendliest possible shape for inline
+deduplication with history-aware skip chunking — the shared prefix is the
+whole previous version — and therefore the shape where out-of-line
+(reverse) deduplication has nothing left to reclaim and runs at pure
+cost.  The hybrid inline/out-of-line ablation uses it as the "reverse
+dedup loses" pole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.base import (
+    BackupFile,
+    DatasetSummary,
+    DatasetVersion,
+    WorkloadGenerator,
+)
+
+
+@dataclass(frozen=True)
+class MailLogConfig:
+    """Scale and shape parameters of one Mail-Log instance."""
+
+    mailbox_count: int = 6
+    #: Records in each mailbox at version 0.
+    initial_records: int = 48
+    #: Bytes per record (one message / log line batch).
+    record_bytes: int = 2048
+    version_count: int = 8
+    #: Mean records appended to each mailbox per version.
+    appends_per_version: int = 24
+    #: Probability a given mailbox is compacted in a given version.
+    compaction_probability: float = 0.08
+    #: Fraction of a mailbox's oldest records dropped by a compaction.
+    compaction_drop_fraction: float = 0.5
+    #: Hard cap on any mailbox's size (0 disables the cap).
+    max_mailbox_bytes: int = 0
+    seed: int = 1991
+
+    def __post_init__(self) -> None:
+        if self.mailbox_count < 1 or self.version_count < 1:
+            raise ValueError("need at least one mailbox and one version")
+        if self.record_bytes < 1 or self.initial_records < 1:
+            raise ValueError("records must be non-empty")
+        if self.appends_per_version < 0:
+            raise ValueError("appends_per_version cannot be negative")
+        if not 0 <= self.compaction_probability <= 1:
+            raise ValueError("compaction_probability must be in [0, 1]")
+        if not 0 < self.compaction_drop_fraction <= 1:
+            raise ValueError("compaction_drop_fraction must be in (0, 1]")
+        if self.max_mailbox_bytes < 0:
+            raise ValueError("max_mailbox_bytes cannot be negative")
+
+
+class MailLogGenerator(WorkloadGenerator):
+    """Deterministic generator of Mail-Log backup versions."""
+
+    name = "Mail-Log"
+
+    def __init__(self, config: MailLogConfig | None = None) -> None:
+        self.config = config or MailLogConfig()
+        super().__init__(self.config.seed)
+        config = self.config
+        self._boxes: list[list[bytes]] = [
+            [self._fresh(config.record_bytes) for _ in range(config.initial_records)]
+            for _ in range(config.mailbox_count)
+        ]
+        #: Compactions applied so far (for the summary / tests).
+        self.compactions = 0
+
+    # --- version stream ------------------------------------------------------
+    def current_version(self) -> DatasetVersion:
+        """The current state of every mailbox as one backup version."""
+        return DatasetVersion(
+            version=self._version,
+            files=[
+                BackupFile(f"maillog/box_{index:03d}.mbox", b"".join(box))
+                for index, box in enumerate(self._boxes)
+            ],
+        )
+
+    def next_version(self) -> DatasetVersion:
+        """Append fresh records (and rarely compact) every mailbox."""
+        config = self.config
+        rng = self._rng
+        fresh_bytes = 0
+        for box in self._boxes:
+            # Appends: a Poisson-ish batch of brand new records.
+            low = max(1, config.appends_per_version // 2)
+            high = max(low + 1, config.appends_per_version * 3 // 2 + 1)
+            appended = int(rng.integers(low, high))
+            for _ in range(appended):
+                box.append(self._fresh(config.record_bytes))
+            fresh_bytes += appended * config.record_bytes
+            # Rare compaction: drop the oldest records, keep the rest
+            # verbatim (still duplicate content, just shifted).
+            if rng.random() < config.compaction_probability and len(box) > 2:
+                drop = max(1, int(len(box) * config.compaction_drop_fraction))
+                del box[:drop]
+                self.compactions += 1
+            if config.max_mailbox_bytes:
+                cap_records = max(1, config.max_mailbox_bytes // config.record_bytes)
+                if len(box) > cap_records:
+                    del box[: len(box) - cap_records]
+        self._version += 1
+        snapshot = self.current_version()
+        self._total_bytes += snapshot.total_bytes
+        if snapshot.total_bytes:
+            fresh = min(snapshot.total_bytes, fresh_bytes)
+            self._observed_cross.append(1.0 - fresh / snapshot.total_bytes)
+            # Every record is unique content: no intra-version duplicates.
+            self._observed_intra.append(0.0)
+        return snapshot
+
+    # --- reporting ------------------------------------------------------------
+    def summary(self) -> DatasetSummary:
+        """Table I-style characteristics of the data generated so far."""
+        config = self.config
+        steady = config.initial_records + config.appends_per_version
+        default = 1.0 - config.appends_per_version / max(1, steady)
+        average = self._observed_cross_ratio(default)
+        return DatasetSummary(
+            name=self.name,
+            total_bytes=self._total_bytes,
+            version_count=self._version + 1,
+            file_count=config.mailbox_count,
+            average_duplication_ratio=average,
+            self_reference=0.0,
+            cross_version_duplication=average,
+            intra_version_duplication=self._observed_intra_ratio(),
+        )

@@ -6,19 +6,24 @@ so this generator produces a file population matched to them at a
 configurable scale: many small-to-medium files with lognormal sizes, most
 of which survive a version unchanged, a minority partially modified, plus
 a trickle of file creations and deletions.
+
+Duplication accounting is split (see :class:`DatasetSummary`): freshly
+created files are new content and count against the cross-version ratio
+(they used to ride free as "duplicate"), and the intra-version ratio is
+the *observed* value — zero, since this generator never copies content
+within a version; the configured Table I ``self_reference`` stays a
+dataset label, not a measurement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.workloads.base import (
     BackupFile,
     DatasetSummary,
     DatasetVersion,
-    random_block,
+    WorkloadGenerator,
 )
 
 
@@ -68,21 +73,18 @@ class RDataConfig:
             raise ValueError("modified_file_fraction must be in (0, 1]")
 
 
-class RDataGenerator:
+class RDataGenerator(WorkloadGenerator):
     """Deterministic generator of R-Data backup versions."""
 
     name = "R-Data"
 
     def __init__(self, config: RDataConfig | None = None) -> None:
         self.config = config or RDataConfig()
-        self._rng = np.random.default_rng(self.config.seed)
+        super().__init__(self.config.seed)
         self._files: dict[str, bytearray] = {}
         self._next_file_id = 0
         for _ in range(self.config.file_count):
             self._create_file()
-        self._version = 0
-        self._total_bytes = 0
-        self._observed_dup_ratios: list[float] = []
 
     # --- file management -----------------------------------------------------
     def _draw_size(self) -> int:
@@ -90,11 +92,13 @@ class RDataGenerator:
         size = int(self._rng.lognormal(config.size_log_mean, config.size_log_sigma))
         return max(config.min_file_bytes, min(config.max_file_bytes, size))
 
-    def _create_file(self) -> str:
+    def _create_file(self) -> int:
+        """Create one fresh file; returns its size in bytes."""
         path = f"rdata/dir_{self._next_file_id % 16:02d}/file_{self._next_file_id:05d}.dat"
         self._next_file_id += 1
-        self._files[path] = bytearray(random_block(self._rng, self._draw_size()))
-        return path
+        data = bytearray(self._fresh(self._draw_size()))
+        self._files[path] = data
+        return len(data)
 
     # --- version stream ----------------------------------------------------------
     def current_version(self) -> DatasetVersion:
@@ -140,22 +144,26 @@ class RDataGenerator:
                 share = min(budget - changed, config.touch_bytes)
             changed += self._overwrite_hot(data, share, clustered=is_active)
 
-        # File churn: a few deletions and creations.
+        # File churn: a few deletions and creations.  Created files are
+        # fresh content — they count against the duplication ratio, not
+        # toward it.
         churn = max(0, int(len(paths) * config.churn_file_fraction))
         for _ in range(churn):
             victim = paths[int(rng.integers(0, len(paths)))]
             if victim in self._files and len(self._files) > 4:
                 del self._files[victim]
+        created = 0
         for _ in range(churn):
-            self._create_file()
+            created += self._create_file()
 
         self._version += 1
         snapshot = self.current_version()
         self._total_bytes += snapshot.total_bytes
         if snapshot.total_bytes:
-            self._observed_dup_ratios.append(
-                max(0.0, 1.0 - changed / snapshot.total_bytes)
-            )
+            fresh = min(snapshot.total_bytes, changed + created)
+            self._observed_cross.append(1.0 - fresh / snapshot.total_bytes)
+            # This generator never duplicates content within a version.
+            self._observed_intra.append(0.0)
         return snapshot
 
     def _overwrite_hot(
@@ -180,26 +188,14 @@ class RDataGenerator:
                 start = int(rng.integers(0, max(1, hot_limit - run)))
             else:
                 start = int(rng.integers(0, max(1, len(data) - run)))
-            data[start : start + run] = random_block(rng, run)
+            data[start : start + run] = self._fresh(run)
             changed += run
         return changed
-
-    def versions(self) -> list[DatasetVersion]:
-        """All configured versions, version 0 first."""
-        output = [self.current_version()]
-        self._total_bytes = output[0].total_bytes
-        for _ in range(self.config.version_count - 1):
-            output.append(self.next_version())
-        return output
 
     # --- reporting --------------------------------------------------------------------
     def summary(self) -> DatasetSummary:
         """Table I-style characteristics of the data generated so far."""
-        average = (
-            float(np.mean(self._observed_dup_ratios))
-            if self._observed_dup_ratios
-            else self.config.duplication_ratio
-        )
+        average = self._observed_cross_ratio(self.config.duplication_ratio)
         return DatasetSummary(
             name=self.name,
             total_bytes=self._total_bytes,
@@ -207,4 +203,6 @@ class RDataGenerator:
             file_count=len(self._files),
             average_duplication_ratio=average,
             self_reference=self.config.self_reference,
+            cross_version_duplication=average,
+            intra_version_duplication=self._observed_intra_ratio(),
         )

@@ -1,0 +1,205 @@
+"""The Src-Tree workload: source-tree evolution across versions.
+
+Many small files in a directory hierarchy, evolving the way a developed
+codebase does:
+
+* **Edits** — a fraction of files get small clustered in-place edits per
+  version (most of each edited file survives unchanged);
+* **Renames** — files move to new paths with identical content, which
+  defeats any dedup keyed on the file name (the similar-file index's
+  first lookup) and rewards content-addressed paths;
+* **Branch copies** — occasionally a whole directory is copied to a new
+  ``branches/...`` prefix, planting massive cross-file duplication in
+  one version (intra-version self-reference at file granularity);
+* **Create/delete churn** — new files appear, old ones vanish.
+
+File sizes are small (a few KB), so this workload stresses per-file
+overheads and many-files metadata paths rather than raw throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.base import (
+    BackupFile,
+    DatasetSummary,
+    DatasetVersion,
+    WorkloadGenerator,
+)
+
+
+@dataclass(frozen=True)
+class SrcTreeConfig:
+    """Scale and shape parameters of one Src-Tree instance."""
+
+    file_count: int = 96
+    #: Files per directory in the initial tree.
+    files_per_dir: int = 8
+    version_count: int = 8
+    #: Lognormal size distribution parameters (of ln(bytes)).
+    size_log_mean: float = 8.3   # median ~4 KB
+    size_log_sigma: float = 0.8
+    min_file_bytes: int = 512
+    max_file_bytes: int = 64 * 1024
+    #: Fraction of files edited per version.
+    edit_fraction: float = 0.20
+    #: Bytes of one clustered edit run.
+    edit_run_bytes: int = 512
+    #: Edit runs per edited file.
+    edit_runs: int = 2
+    #: Fraction of files renamed (content unchanged) per version.
+    rename_fraction: float = 0.05
+    #: Probability that a version copies one directory to a new branch.
+    branch_copy_probability: float = 0.25
+    #: Fraction of files created / deleted per version.
+    churn_fraction: float = 0.03
+    seed: int = 1973
+
+    def __post_init__(self) -> None:
+        if self.file_count < 4 or self.version_count < 1:
+            raise ValueError("need at least four files and one version")
+        if self.files_per_dir < 1:
+            raise ValueError("need at least one file per directory")
+        if not 0 < self.min_file_bytes <= self.max_file_bytes:
+            raise ValueError("file size bounds must satisfy 0 < min <= max")
+        if not 0 <= self.edit_fraction <= 1:
+            raise ValueError("edit_fraction must be in [0, 1]")
+        if not 0 <= self.rename_fraction <= 1:
+            raise ValueError("rename_fraction must be in [0, 1]")
+        if not 0 <= self.branch_copy_probability <= 1:
+            raise ValueError("branch_copy_probability must be in [0, 1]")
+
+
+class SrcTreeGenerator(WorkloadGenerator):
+    """Deterministic generator of Src-Tree backup versions."""
+
+    name = "Src-Tree"
+
+    def __init__(self, config: SrcTreeConfig | None = None) -> None:
+        self.config = config or SrcTreeConfig()
+        super().__init__(self.config.seed)
+        self._files: dict[str, bytes] = {}
+        self._next_file_id = 0
+        self._next_branch_id = 0
+        for _ in range(self.config.file_count):
+            self._create_file()
+
+    # --- file management -----------------------------------------------------
+    def _draw_size(self) -> int:
+        config = self.config
+        size = int(self._rng.lognormal(config.size_log_mean, config.size_log_sigma))
+        return max(config.min_file_bytes, min(config.max_file_bytes, size))
+
+    def _create_file(self, prefix: str = "src") -> str:
+        config = self.config
+        directory = self._next_file_id // config.files_per_dir
+        path = (
+            f"srctree/{prefix}/dir_{directory:03d}/"
+            f"file_{self._next_file_id:05d}.c"
+        )
+        self._next_file_id += 1
+        self._files[path] = self._fresh(self._draw_size())
+        return path
+
+    # --- version stream ------------------------------------------------------
+    def current_version(self) -> DatasetVersion:
+        """The current tree as one backup version."""
+        return DatasetVersion(
+            version=self._version,
+            files=[
+                BackupFile(path, data)
+                for path, data in sorted(self._files.items())
+            ],
+        )
+
+    def next_version(self) -> DatasetVersion:
+        """Edit, rename, branch-copy and churn the tree."""
+        config = self.config
+        rng = self._rng
+        fresh_bytes = 0
+        intra_bytes = 0
+
+        # Edits: clustered runs of fresh bytes inside a few files.
+        paths = sorted(self._files)
+        edited = (
+            max(1, int(len(paths) * config.edit_fraction))
+            if config.edit_fraction > 0
+            else 0
+        )
+        for _ in range(edited):
+            path = paths[int(rng.integers(0, len(paths)))]
+            data = bytearray(self._files[path])
+            for _ in range(config.edit_runs):
+                run = min(config.edit_run_bytes, len(data))
+                if run == 0:
+                    continue
+                start = int(rng.integers(0, max(1, len(data) - run)))
+                data[start : start + run] = self._fresh(run)
+                fresh_bytes += run
+            self._files[path] = bytes(data)
+
+        # Renames: identical content under a new path.
+        paths = sorted(self._files)
+        renamed = int(len(paths) * config.rename_fraction)
+        for _ in range(renamed):
+            victim = paths[int(rng.integers(0, len(paths)))]
+            if victim not in self._files:
+                continue
+            data = self._files.pop(victim)
+            directory = self._next_file_id // config.files_per_dir
+            target = (
+                f"srctree/src/dir_{directory:03d}/"
+                f"file_{self._next_file_id:05d}.c"
+            )
+            self._next_file_id += 1
+            self._files[target] = data
+
+        # Branch copy: one directory duplicated wholesale into a branch.
+        if rng.random() < config.branch_copy_probability:
+            directories = sorted(
+                {path.rsplit("/", 1)[0] for path in self._files}
+            )
+            source = directories[int(rng.integers(0, len(directories)))]
+            branch = f"srctree/branches/b{self._next_branch_id:03d}"
+            self._next_branch_id += 1
+            for path in sorted(self._files):
+                if path.rsplit("/", 1)[0] == source:
+                    leaf = path.rsplit("/", 1)[1]
+                    self._files[f"{branch}/{leaf}"] = self._files[path]
+                    intra_bytes += len(self._files[path])
+
+        # Churn: delete a few files, create a few fresh ones.
+        churn = int(len(self._files) * config.churn_fraction)
+        paths = sorted(self._files)
+        for _ in range(churn):
+            victim = paths[int(rng.integers(0, len(paths)))]
+            if victim in self._files and len(self._files) > 4:
+                del self._files[victim]
+        for _ in range(churn):
+            created = self._create_file()
+            fresh_bytes += len(self._files[created])
+
+        self._version += 1
+        snapshot = self.current_version()
+        self._total_bytes += snapshot.total_bytes
+        if snapshot.total_bytes:
+            fresh = min(snapshot.total_bytes, fresh_bytes)
+            self._observed_cross.append(1.0 - fresh / snapshot.total_bytes)
+            self._observed_intra.append(intra_bytes / snapshot.total_bytes)
+        return snapshot
+
+    # --- reporting ------------------------------------------------------------
+    def summary(self) -> DatasetSummary:
+        """Table I-style characteristics of the data generated so far."""
+        average = self._observed_cross_ratio(1.0 - self.config.edit_fraction / 4)
+        return DatasetSummary(
+            name=self.name,
+            total_bytes=self._total_bytes,
+            version_count=self._version + 1,
+            file_count=len(self._files),
+            average_duplication_ratio=average,
+            self_reference=self._observed_intra_ratio(),
+            cross_version_duplication=average,
+            intra_version_duplication=self._observed_intra_ratio(),
+        )

@@ -1,0 +1,229 @@
+"""Replayable workload traces: a versioned JSONL interchange format.
+
+A trace captures a multi-version backup workload — every file of every
+version — in a self-describing line-oriented format, so that externally
+collected traces (or recorded generator runs) can drive backup and
+restore through the CLI (``repro trace record | replay``) without the
+producer and the consumer sharing any code.
+
+Schema ``slimstore-trace/1`` (one JSON object per line):
+
+* ``{"record": "header", "schema": "slimstore-trace/1", "name": ...,
+  "meta": {...}}`` — first line, exactly once.  ``meta`` is free-form
+  provenance (generator name, seed, config) and is preserved verbatim.
+* ``{"record": "version", "version": N, "files": M, "total_bytes": B}``
+  — opens version ``N``; versions must be contiguous from 0.
+* ``{"record": "file", "version": N, "path": P, "data": "<base64>",
+  "sha256": "<hex>"}`` — one file of the open version.  ``sha256`` is
+  over the raw payload; the reader verifies it, so a corrupted trace
+  fails loudly instead of silently replaying garbage.
+* ``{"record": "end", "versions": K}`` — last line; ``K`` must match
+  the number of version records seen.
+
+Round-trip fidelity is a test invariant: ``read_trace(write_trace(w))``
+reproduces the exact version stream, and replaying either side into a
+repository yields byte-identical buckets.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import TraceError
+from repro.workloads.base import BackupFile, DatasetVersion
+
+#: The schema identifier this module reads and writes.
+TRACE_SCHEMA = "slimstore-trace/1"
+
+
+@dataclass
+class WorkloadTrace:
+    """A parsed trace: provenance plus the full version stream."""
+
+    name: str
+    meta: dict = field(default_factory=dict)
+    versions: list[DatasetVersion] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical bytes across every version."""
+        return sum(version.total_bytes for version in self.versions)
+
+    def checksums(self) -> dict[tuple[str, int], str]:
+        """(path, version) → sha256 hex of every file in the trace."""
+        return {
+            (item.path, version.version): hashlib.sha256(item.data).hexdigest()
+            for version in self.versions
+            for item in version.files
+        }
+
+
+def write_trace(
+    path: str | Path,
+    versions: Iterable[DatasetVersion],
+    name: str = "",
+    meta: dict | None = None,
+) -> int:
+    """Serialise a version stream to ``path``; returns versions written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("w", encoding="utf-8") as sink:
+        header = {
+            "record": "header",
+            "schema": TRACE_SCHEMA,
+            "name": name,
+            "meta": meta or {},
+        }
+        sink.write(json.dumps(header, sort_keys=True) + "\n")
+        for version in versions:
+            marker = {
+                "record": "version",
+                "version": version.version,
+                "files": len(version.files),
+                "total_bytes": version.total_bytes,
+            }
+            sink.write(json.dumps(marker, sort_keys=True) + "\n")
+            for item in version.files:
+                record = {
+                    "record": "file",
+                    "version": version.version,
+                    "path": item.path,
+                    "data": base64.b64encode(item.data).decode("ascii"),
+                    "sha256": hashlib.sha256(item.data).hexdigest(),
+                }
+                sink.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+        sink.write(
+            json.dumps({"record": "end", "versions": count}, sort_keys=True) + "\n"
+        )
+    return count
+
+
+def read_trace(path: str | Path) -> WorkloadTrace:
+    """Parse and verify a trace file.
+
+    Raises :class:`~repro.errors.TraceError` on schema mismatch,
+    non-contiguous versions, checksum failures, truncation, or file
+    records outside their version marker.
+    """
+    source = Path(path)
+    if not source.is_file():
+        raise TraceError(f"trace file not found: {source}")
+    trace: WorkloadTrace | None = None
+    current: DatasetVersion | None = None
+    expected_files = 0
+    ended = False
+    with source.open("r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if ended:
+                raise TraceError(f"line {line_number}: records after end marker")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"line {line_number}: not JSON: {exc}") from exc
+            kind = record.get("record")
+            if trace is None:
+                if kind != "header":
+                    raise TraceError(f"line {line_number}: expected header record")
+                if record.get("schema") != TRACE_SCHEMA:
+                    raise TraceError(
+                        f"unsupported trace schema {record.get('schema')!r} "
+                        f"(this reader speaks {TRACE_SCHEMA!r})"
+                    )
+                trace = WorkloadTrace(
+                    name=str(record.get("name", "")),
+                    meta=dict(record.get("meta") or {}),
+                )
+            elif kind == "version":
+                _close_version(trace, current, expected_files)
+                number = int(record["version"])
+                current = DatasetVersion(version=number)
+                expected_files = int(record.get("files", -1))
+                if number != len(trace.versions):
+                    raise TraceError(
+                        f"line {line_number}: version {number} out of order "
+                        f"(expected {len(trace.versions)})"
+                    )
+            elif kind == "file":
+                if current is None:
+                    raise TraceError(
+                        f"line {line_number}: file record outside a version"
+                    )
+                if int(record["version"]) != current.version:
+                    raise TraceError(
+                        f"line {line_number}: file tagged v{record['version']} "
+                        f"inside version {current.version}"
+                    )
+                try:
+                    data = base64.b64decode(record["data"], validate=True)
+                except (ValueError, KeyError) as exc:
+                    raise TraceError(
+                        f"line {line_number}: bad payload encoding"
+                    ) from exc
+                digest = hashlib.sha256(data).hexdigest()
+                if digest != record.get("sha256"):
+                    raise TraceError(
+                        f"line {line_number}: checksum mismatch for "
+                        f"{record.get('path')!r}"
+                    )
+                current.files.append(BackupFile(str(record["path"]), data))
+            elif kind == "end":
+                _close_version(trace, current, expected_files)
+                current = None
+                if int(record.get("versions", -1)) != len(trace.versions):
+                    raise TraceError(
+                        f"line {line_number}: end marker counts "
+                        f"{record.get('versions')} versions, "
+                        f"trace holds {len(trace.versions)}"
+                    )
+                ended = True
+            else:
+                raise TraceError(
+                    f"line {line_number}: unknown record kind {kind!r}"
+                )
+    if trace is None:
+        raise TraceError(f"empty trace file: {source}")
+    if not ended:
+        raise TraceError(f"truncated trace (no end marker): {source}")
+    return trace
+
+
+def _close_version(
+    trace: WorkloadTrace, current: DatasetVersion | None, expected_files: int
+) -> None:
+    """Append the open version, checking its declared file count."""
+    if current is None:
+        return
+    if expected_files >= 0 and len(current.files) != expected_files:
+        raise TraceError(
+            f"version {current.version} declares {expected_files} files, "
+            f"holds {len(current.files)}"
+        )
+    trace.versions.append(current)
+
+
+def replay_into(store, trace: WorkloadTrace) -> dict[tuple[str, int], int]:
+    """Drive a parsed trace through a SlimStore as backups.
+
+    Files are backed up in version order, sorted by path within each
+    version — the same order the generator runners use — so a recorded
+    run and a replayed run produce byte-identical repositories.  Returns
+    (trace path, trace version) → assigned store version, which is what
+    a verifying restore sweep needs: a path absent from early versions
+    gets store versions offset from its trace versions.
+    """
+    assigned: dict[tuple[str, int], int] = {}
+    for version in trace.versions:
+        for item in sorted(version.files, key=lambda f: f.path):
+            report = store.backup(item.path, item.data)
+            assigned[(item.path, version.version)] = report.version
+    return assigned

@@ -1,0 +1,1 @@
+"""Tests of the offline analysis package."""

@@ -1,0 +1,122 @@
+"""Unit tests of the analytical dedup oracle on hand-built datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConformanceReport,
+    OracleBound,
+    chunk_duplicate_bound,
+    measured_dedup_ratio,
+)
+from repro.core.system import SlimStore
+from repro.workloads.base import BackupFile, DatasetVersion
+from tests.conftest import SMALL_CONFIG, random_bytes
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(8642)
+
+
+class TestChunkBound:
+    def test_identical_files_halve_the_payload(self, rng):
+        payload = random_bytes(rng, 64 * 1024)
+        version = DatasetVersion(
+            version=0,
+            files=[BackupFile("a", payload), BackupFile("b", payload)],
+        )
+        bound = chunk_duplicate_bound([version], SMALL_CONFIG)
+        # Identical content cuts identically, so the distinct multiset
+        # is exactly one copy: the bound is exactly one half.
+        assert bound.logical_bytes == 2 * len(payload)
+        assert bound.distinct_chunk_bytes == len(payload)
+        assert bound.chunk_bound_ratio == pytest.approx(0.5)
+        assert bound.total_chunks == 2 * bound.distinct_chunks
+
+    def test_unique_content_has_zero_bound(self, rng):
+        version = DatasetVersion(
+            version=0, files=[BackupFile("a", random_bytes(rng, 32 * 1024))]
+        )
+        bound = chunk_duplicate_bound([version], SMALL_CONFIG)
+        assert bound.distinct_chunk_bytes == bound.logical_bytes
+        assert bound.chunk_bound_ratio == pytest.approx(0.0)
+
+    def test_cross_version_duplicates_count(self, rng):
+        payload = random_bytes(rng, 48 * 1024)
+        versions = [
+            DatasetVersion(version=0, files=[BackupFile("a", payload)]),
+            DatasetVersion(version=1, files=[BackupFile("a", payload)]),
+            DatasetVersion(version=2, files=[BackupFile("a", payload)]),
+        ]
+        bound = chunk_duplicate_bound(versions, SMALL_CONFIG)
+        assert bound.chunk_bound_ratio == pytest.approx(2 / 3)
+
+    def test_empty_stream(self):
+        bound = chunk_duplicate_bound([], SMALL_CONFIG)
+        assert bound.logical_bytes == 0
+        assert bound.chunk_bound_ratio == 0.0
+        assert bound.entropy_bound_ratio is None
+
+
+class TestEntropyBound:
+    def test_innovation_ceiling(self, rng):
+        payload = random_bytes(rng, 32 * 1024)
+        versions = [
+            DatasetVersion(version=0, files=[BackupFile("a", payload)]),
+            DatasetVersion(version=1, files=[BackupFile("a", payload)]),
+        ]
+        # All innovation was drawn once: fresh = one copy, logical = two.
+        bound = chunk_duplicate_bound(
+            versions, SMALL_CONFIG, fresh_random_bytes=len(payload)
+        )
+        assert bound.entropy_bound_ratio == pytest.approx(0.5)
+
+    def test_unknown_innovation_is_none(self):
+        bound = OracleBound(
+            logical_bytes=10, distinct_chunk_bytes=10,
+            distinct_chunks=1, total_chunks=1,
+        )
+        assert bound.entropy_bound_ratio is None
+
+
+class TestMeasuredRatio:
+    def test_repeated_backup_dedups(self, rng):
+        payload = random_bytes(rng, 64 * 1024)
+        store = SlimStore(SMALL_CONFIG)
+        for _ in range(3):
+            store.backup("f", payload)
+        ratio = measured_dedup_ratio(store, 3 * len(payload))
+        # Three identical versions: nearly two thirds deduplicated.
+        assert ratio == pytest.approx(2 / 3, abs=0.05)
+
+    def test_zero_logical_bytes(self, rng):
+        store = SlimStore(SMALL_CONFIG)
+        assert measured_dedup_ratio(store, 0) == 0.0
+
+
+class TestConformanceCheck:
+    def _report(self, measured: float) -> ConformanceReport:
+        bound = OracleBound(
+            logical_bytes=100, distinct_chunk_bytes=40,
+            distinct_chunks=4, total_chunks=10,
+        )
+        return ConformanceReport(
+            workload="t", seed=1, bound=bound, measured_ratio=measured
+        )
+
+    def test_within_gap_passes(self):
+        self._report(0.58).check(max_gap=0.05)
+
+    def test_gap_violation_raises(self):
+        with pytest.raises(AssertionError, match="trails"):
+            self._report(0.50).check(max_gap=0.05)
+
+    def test_overshoot_raises(self):
+        with pytest.raises(AssertionError, match="exceeds"):
+            self._report(0.75).check(max_gap=0.05)
+
+    def test_marginal_overshoot_tolerated(self):
+        self._report(0.605).check(max_gap=0.05, overshoot=0.01)

@@ -87,6 +87,19 @@ def make_version_chain(
     return chain
 
 
+def bucket_state(oss: ObjectStorageService) -> dict[str, dict[str, bytes]]:
+    """Deep-copy every bucket's objects — the byte-level repository state.
+
+    Two repositories are identical iff their bucket states are equal;
+    the crash matrix forks runs from this snapshot, and the trace
+    round-trip / differential-parity suites compare against it.
+    """
+    return {
+        bucket: dict(oss._backend(bucket)._objects)
+        for bucket in oss.bucket_names()
+    }
+
+
 def make_chaos_store(seed: int = 2026, config: SlimStoreConfig | None = None, **rates):
     """A SlimStore whose OSS injects faults, fronted by a retrying client."""
     from repro import FaultPolicy, RetryPolicy, SlimStore

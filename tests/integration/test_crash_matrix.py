@@ -24,17 +24,12 @@ from repro.core.system import SlimStore
 from repro.errors import SimulatedCrashError, VersionNotFoundError
 from repro.oss.faults import FaultPolicy
 from repro.oss.object_store import ObjectStorageService
-from tests.conftest import SMALL_CONFIG, mutate, random_bytes
+from tests.conftest import SMALL_CONFIG, bucket_state, mutate, random_bytes
 
 pytestmark = pytest.mark.slow
 
-
-def clone_state(oss: ObjectStorageService) -> dict[str, dict[str, bytes]]:
-    """Deep-copy every bucket's objects (the fork point of the matrix)."""
-    return {
-        bucket: dict(oss._backend(bucket)._objects)
-        for bucket in oss.bucket_names()
-    }
+#: Deep-copy of every bucket (the fork point of the matrix).
+clone_state = bucket_state
 
 
 def attach(state: dict[str, dict[str, bytes]] | None = None,

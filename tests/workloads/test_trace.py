@@ -1,0 +1,214 @@
+"""Trace format round-trip and validation tests.
+
+The contract under test: recording a generator run to a trace and
+replaying it into a fresh repository is indistinguishable — bucket for
+bucket, byte for byte — from backing the generator's stream up
+directly.  Plus the reader's whole refusal matrix: a malformed or
+corrupted trace must raise :class:`~repro.errors.TraceError`, never
+silently replay garbage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.system import SlimStore
+from repro.errors import TraceError
+from repro.workloads import (
+    GENERATOR_NAMES,
+    make_generator,
+    read_trace,
+    replay_into,
+    write_trace,
+)
+from tests.conftest import SMALL_CONFIG, bucket_state
+
+
+def small_stream(name: str = "srctree", seed: int = 31):
+    generator = make_generator(name, seed=seed, version_count=3)
+    return generator, generator.versions()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", GENERATOR_NAMES)
+    def test_read_reproduces_the_stream(self, tmp_path, name):
+        _, versions = small_stream(name)
+        target = tmp_path / "t.jsonl"
+        assert write_trace(target, versions, name=name) == len(versions)
+        trace = read_trace(target)
+        assert trace.name == name
+        assert len(trace.versions) == len(versions)
+        for original, parsed in zip(versions, trace.versions):
+            assert parsed.version == original.version
+            assert [(f.path, f.data) for f in parsed.files] == [
+                (f.path, f.data) for f in original.files
+            ]
+
+    def test_meta_is_preserved_verbatim(self, tmp_path):
+        _, versions = small_stream()
+        target = tmp_path / "t.jsonl"
+        meta = {"generator": "srctree", "seed": 31, "nested": {"a": [1, 2]}}
+        write_trace(target, versions, name="x", meta=meta)
+        assert read_trace(target).meta == meta
+
+    def test_replay_is_byte_identical_to_direct_backup(self, tmp_path):
+        """The headline invariant: replayed repo == directly-built repo."""
+        _, versions = small_stream()
+        target = tmp_path / "t.jsonl"
+        write_trace(target, versions, name="srctree")
+
+        direct = SlimStore(SMALL_CONFIG)
+        for version in versions:
+            for item in sorted(version.files, key=lambda f: f.path):
+                direct.backup(item.path, item.data)
+
+        replayed = SlimStore(SMALL_CONFIG)
+        assigned = replay_into(replayed, read_trace(target))
+
+        assert bucket_state(replayed.oss) == bucket_state(direct.oss)
+        assert len(assigned) == sum(len(v.files) for v in versions)
+
+    def test_record_twice_is_byte_identical(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for target in (first, second):
+            _, versions = small_stream()
+            write_trace(target, versions, name="srctree")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_replay_assignments_follow_file_appearance(self, tmp_path):
+        """A path joining the dataset late starts at store version 0."""
+        _, versions = small_stream("srctree")
+        late = {f.path for f in versions[-1].files} - {
+            f.path for f in versions[0].files
+        }
+        target = tmp_path / "t.jsonl"
+        write_trace(target, versions, name="srctree")
+        store = SlimStore(SMALL_CONFIG)
+        assigned = replay_into(store, read_trace(target))
+        if late:
+            path = sorted(late)[0]
+            first_seen = min(v for p, v in assigned if p == path)
+            assert assigned[(path, first_seen)] == 0
+
+    def test_checksums_cover_every_file(self, tmp_path):
+        _, versions = small_stream()
+        target = tmp_path / "t.jsonl"
+        write_trace(target, versions)
+        sums = read_trace(target).checksums()
+        assert len(sums) == sum(len(v.files) for v in versions)
+
+
+class TestValidation:
+    def write_small(self, tmp_path):
+        _, versions = small_stream("maillog", seed=5)
+        target = tmp_path / "t.jsonl"
+        write_trace(target, versions, name="maillog")
+        return target
+
+    def corrupt(self, target, match, replace):
+        lines = target.read_text().splitlines()
+        for index, line in enumerate(lines):
+            if match in line:
+                lines[index] = replace(line)
+                break
+        target.write_text("\n".join(lines) + "\n")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            read_trace(tmp_path / "absent.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        target = tmp_path / "t.jsonl"
+        target.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            read_trace(target)
+
+    def test_wrong_schema(self, tmp_path):
+        target = self.write_small(tmp_path)
+        self.corrupt(
+            target, '"record": "header"',
+            lambda line: line.replace("slimstore-trace/1", "slimstore-trace/9"),
+        )
+        with pytest.raises(TraceError, match="schema"):
+            read_trace(target)
+
+    def test_not_json(self, tmp_path):
+        target = self.write_small(tmp_path)
+        self.corrupt(target, '"record": "file"', lambda line: line[:-10])
+        with pytest.raises(TraceError, match="not JSON"):
+            read_trace(target)
+
+    def test_checksum_mismatch(self, tmp_path):
+        target = self.write_small(tmp_path)
+
+        def flip(line):
+            where = line.index('"data": "') + len('"data": "')
+            other = "B" if line[where] != "B" else "C"
+            return line[:where] + other + line[where + 1:]
+
+        self.corrupt(target, '"record": "file"', flip)
+        with pytest.raises(TraceError, match="checksum"):
+            read_trace(target)
+
+    def test_truncated_trace(self, tmp_path):
+        target = self.write_small(tmp_path)
+        lines = target.read_text().splitlines()
+        target.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(target)
+
+    def test_records_after_end(self, tmp_path):
+        target = self.write_small(tmp_path)
+        with target.open("a") as sink:
+            sink.write(json.dumps({"record": "version", "version": 99}) + "\n")
+        with pytest.raises(TraceError, match="after end"):
+            read_trace(target)
+
+    def test_out_of_order_versions(self, tmp_path):
+        target = self.write_small(tmp_path)
+        self.corrupt(
+            target, '"record": "version", "total_bytes"',
+            lambda line: line.replace('"version": 0', '"version": 7'),
+        )
+        with pytest.raises(TraceError, match="out of order"):
+            read_trace(target)
+
+    def test_file_outside_version(self, tmp_path):
+        _, versions = small_stream("maillog", seed=5)
+        target = tmp_path / "t.jsonl"
+        write_trace(target, versions, name="maillog")
+        lines = target.read_text().splitlines()
+        file_line = next(line for line in lines if '"record": "file"' in line)
+        target.write_text("\n".join([lines[0], file_line] + lines[1:]) + "\n")
+        with pytest.raises(TraceError, match="outside a version"):
+            read_trace(target)
+
+    def test_declared_file_count_enforced(self, tmp_path):
+        target = self.write_small(tmp_path)
+        lines = target.read_text().splitlines()
+        drop = next(
+            index for index, line in enumerate(lines) if '"record": "file"' in line
+        )
+        del lines[drop]
+        target.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="declares"):
+            read_trace(target)
+
+    def test_end_count_enforced(self, tmp_path):
+        target = self.write_small(tmp_path)
+        self.corrupt(
+            target, '"record": "end"',
+            lambda line: line.replace('"versions": 3', '"versions": 8'),
+        )
+        with pytest.raises(TraceError, match="end marker"):
+            read_trace(target)
+
+    def test_unknown_record_kind(self, tmp_path):
+        target = self.write_small(tmp_path)
+        lines = target.read_text().splitlines()
+        lines.insert(1, json.dumps({"record": "banana"}))
+        target.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="unknown record"):
+            read_trace(target)

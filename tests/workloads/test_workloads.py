@@ -5,10 +5,17 @@ import pytest
 from repro.workloads import (
     BackupFile,
     DatasetVersion,
+    MailLogConfig,
+    MailLogGenerator,
     RDataConfig,
     RDataGenerator,
     SDBConfig,
     SDBGenerator,
+    SrcTreeConfig,
+    SrcTreeGenerator,
+    VMFleetConfig,
+    VMFleetGenerator,
+    measure_duplication,
 )
 
 SDB_SMALL = SDBConfig(
@@ -134,3 +141,267 @@ class TestRDataGenerator:
             RDataConfig(duplication_ratio=1.5)
         with pytest.raises(ValueError):
             RDataConfig(modified_file_fraction=0.0)
+
+
+class TestMeasureDuplication:
+    """The content auditor against a fully hand-computed dataset."""
+
+    A, B, C, D = b"AAAA", b"BBBB", b"CCCC", b"DDDD"
+
+    def test_hand_computed_breakdown(self):
+        # v0: a = A|B|A          -> the second A is an intra duplicate.
+        # v1: a = A|C, b = B|B|D -> A and the first B duplicate v0
+        #    (cross), the second B duplicates the first (intra takes
+        #    precedence within the version), C and D are new.
+        v0 = DatasetVersion(0, [BackupFile("a", self.A + self.B + self.A)])
+        v1 = DatasetVersion(
+            1,
+            [
+                BackupFile("a", self.A + self.C),
+                BackupFile("b", self.B + self.B + self.D),
+            ],
+        )
+        breakdown = measure_duplication([v0, v1], block_bytes=4)
+        assert breakdown.total_bytes == 32
+        assert breakdown.successor_bytes == 20
+        assert breakdown.intra_version_bytes == 8   # A in v0, B in v1
+        assert breakdown.cross_version_bytes == 8   # A and B into v1
+        assert breakdown.cross_version_ratio == pytest.approx(8 / 20)
+        assert breakdown.intra_version_ratio == pytest.approx(8 / 32)
+
+    def test_intra_precedence_over_cross(self):
+        # A block that duplicates both the same version and the previous
+        # one counts once, as intra — never double-counted as cross.
+        v0 = DatasetVersion(0, [BackupFile("a", self.A)])
+        v1 = DatasetVersion(1, [BackupFile("a", self.A + self.A)])
+        breakdown = measure_duplication([v0, v1], block_bytes=4)
+        assert breakdown.cross_version_bytes == 4   # the first A only
+        assert breakdown.intra_version_bytes == 4   # the second A
+        assert breakdown.cross_version_ratio == pytest.approx(0.5)
+
+    def test_cross_compares_to_previous_version_only(self):
+        # Content from v0 resurfacing in v2 (after vanishing in v1) is
+        # innovation by the auditor's successor-pair definition.
+        v0 = DatasetVersion(0, [BackupFile("a", self.A)])
+        v1 = DatasetVersion(1, [BackupFile("a", self.B)])
+        v2 = DatasetVersion(2, [BackupFile("a", self.A)])
+        breakdown = measure_duplication([v0, v1, v2], block_bytes=4)
+        assert breakdown.cross_version_bytes == 0
+
+    def test_single_version_has_no_cross(self):
+        v0 = DatasetVersion(0, [BackupFile("a", self.A + self.A)])
+        breakdown = measure_duplication([v0], block_bytes=4)
+        assert breakdown.successor_bytes == 0
+        assert breakdown.cross_version_ratio == 0.0
+        assert breakdown.intra_version_ratio == pytest.approx(0.5)
+
+    def test_empty(self):
+        breakdown = measure_duplication([], block_bytes=4)
+        assert breakdown.total_bytes == 0
+        assert breakdown.cross_version_ratio == 0.0
+        assert breakdown.intra_version_ratio == 0.0
+
+
+class TestSplitAccountingAudit:
+    """The generators' split summary accounting vs the content auditor."""
+
+    def test_sdb_cross_accounting_tracks_auditor(self):
+        config = SDBConfig(
+            table_count=1, initial_table_bytes=256 * 1024, version_count=5,
+            seed=8,
+        )
+        generator = SDBGenerator(config)
+        versions = generator.versions()
+        summary = generator.summary()
+        measured = measure_duplication(versions, block_bytes=512)
+        # The accounting subtracts every fresh byte drawn even when
+        # overlapping update runs overwrite each other, while the
+        # auditor sees only what the snapshots retain: the accounting
+        # is a lower-side estimate, never an overcount.
+        assert summary.cross_version_duplication <= (
+            measured.cross_version_ratio + 0.02
+        )
+        assert summary.cross_version_duplication == pytest.approx(
+            measured.cross_version_ratio, abs=0.12
+        )
+
+    def test_vmfleet_accounting_is_exact(self):
+        config = VMFleetConfig(
+            image_count=2, image_bytes=128 * 1024, version_count=4, seed=8
+        )
+        generator = VMFleetGenerator(config)
+        versions = generator.versions()
+        summary = generator.summary()
+        measured = measure_duplication(versions, config.block_bytes)
+        # Block-aligned churn: the generator's observations *are* the
+        # auditor's numbers, averaged per version pair.
+        assert summary.cross_version_duplication == pytest.approx(
+            measured.cross_version_ratio, abs=0.02
+        )
+        assert summary.intra_version_duplication == pytest.approx(
+            measured.intra_version_ratio, abs=0.02
+        )
+
+    def test_summary_rows_carry_split_fields(self):
+        generator = SDBGenerator(SDB_SMALL)
+        generator.versions()
+        rows = dict(generator.summary().rows())
+        assert "Cross-version duplication" in rows
+        assert "Intra-version duplication" in rows
+
+
+class TestVMFleetGenerator:
+    CONFIG = VMFleetConfig(
+        image_count=2, image_bytes=128 * 1024, version_count=4, seed=19
+    )
+
+    def test_deterministic_given_seed(self):
+        first = VMFleetGenerator(self.CONFIG).versions()
+        second = VMFleetGenerator(self.CONFIG).versions()
+        for left, right in zip(first, second):
+            assert [f.data for f in left.files] == [f.data for f in right.files]
+
+    def test_images_are_stable_fixed_size_paths(self):
+        versions = VMFleetGenerator(self.CONFIG).versions()
+        assert len(versions) == 4
+        for version in versions:
+            assert [f.path for f in version.files] == [
+                "vmfleet/image_000.img", "vmfleet/image_001.img",
+            ]
+            assert all(f.size == self.CONFIG.image_bytes for f in version.files)
+
+    def test_fleet_carries_intra_version_duplication(self):
+        # Clones of one golden image plus zero blocks: images duplicate
+        # each other heavily within every single version.
+        versions = VMFleetGenerator(self.CONFIG).versions()
+        measured = measure_duplication(versions, self.CONFIG.block_bytes)
+        assert measured.intra_version_ratio > 0.3
+
+    def test_pool_blocks_create_cross_image_duplicates(self):
+        config = VMFleetConfig(
+            image_count=3, image_bytes=128 * 1024, version_count=4,
+            pool_fraction=1.0, pool_blocks=4, seed=19,
+        )
+        versions = VMFleetGenerator(config).versions()
+        # Every churned block comes from a 4-block pool: the same pool
+        # content must appear in more than one image by the last version.
+        last = versions[-1]
+        block = config.block_bytes
+        homes: dict[bytes, set[str]] = {}
+        for item in last.files:
+            for start in range(0, len(item.data), block):
+                homes.setdefault(item.data[start:start + block], set()).add(item.path)
+        assert any(len(paths) > 1 for paths in homes.values())
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            VMFleetConfig(image_count=0)
+        with pytest.raises(ValueError):
+            VMFleetConfig(image_bytes=4096, block_bytes=4096)
+        with pytest.raises(ValueError):
+            VMFleetConfig(image_bytes=100_000)  # not block-aligned
+        with pytest.raises(ValueError):
+            VMFleetConfig(churn_fraction=1.5)
+
+
+class TestSrcTreeGenerator:
+    CONFIG = SrcTreeConfig(file_count=24, version_count=5, seed=19)
+
+    def test_deterministic_given_seed(self):
+        first = SrcTreeGenerator(self.CONFIG).versions()
+        second = SrcTreeGenerator(self.CONFIG).versions()
+        for left, right in zip(first, second):
+            assert [(f.path, f.data) for f in left.files] == [
+                (f.path, f.data) for f in right.files
+            ]
+
+    def test_many_small_files(self):
+        versions = SrcTreeGenerator(self.CONFIG).versions()
+        assert len(versions[0].files) == 24
+        assert all(
+            self.CONFIG.min_file_bytes <= f.size <= self.CONFIG.max_file_bytes
+            for v in versions for f in v.files
+        )
+
+    def test_renames_preserve_content_under_new_paths(self):
+        config = SrcTreeConfig(
+            file_count=24, version_count=5, rename_fraction=0.5,
+            edit_fraction=0.0, churn_fraction=0.0,
+            branch_copy_probability=0.0, seed=19,
+        )
+        versions = SrcTreeGenerator(config).versions()
+        before = {f.path: f.data for f in versions[0].files}
+        after = {f.path: f.data for f in versions[1].files}
+        renamed = set(before) - set(after)
+        assert renamed  # the knob did something
+        # Every renamed file's bytes survive under some new path.
+        surviving = set(after.values())
+        assert all(before[path] in surviving for path in renamed)
+
+    def test_branch_copies_duplicate_directories(self):
+        config = SrcTreeConfig(
+            file_count=24, version_count=6, branch_copy_probability=1.0,
+            seed=19,
+        )
+        versions = SrcTreeGenerator(config).versions()
+        branch_files = [
+            f.path
+            for f in versions[-1].files
+            if f.path.startswith("srctree/branches/")
+        ]
+        assert branch_files
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SrcTreeConfig(file_count=0)
+        with pytest.raises(ValueError):
+            SrcTreeConfig(edit_fraction=1.5)
+        with pytest.raises(ValueError):
+            SrcTreeConfig(min_file_bytes=0)
+
+
+class TestMailLogGenerator:
+    CONFIG = MailLogConfig(
+        mailbox_count=2, initial_records=12, version_count=5, seed=19
+    )
+
+    def test_deterministic_given_seed(self):
+        first = MailLogGenerator(self.CONFIG).versions()
+        second = MailLogGenerator(self.CONFIG).versions()
+        for left, right in zip(first, second):
+            assert [f.data for f in left.files] == [f.data for f in right.files]
+
+    def test_appends_grow_mailboxes_monotonically(self):
+        config = MailLogConfig(
+            mailbox_count=2, initial_records=12, version_count=5,
+            compaction_probability=0.0, seed=19,
+        )
+        versions = MailLogGenerator(config).versions()
+        for earlier, later in zip(versions, versions[1:]):
+            for a, b in zip(earlier.files, later.files):
+                assert b.size > a.size
+                # Append-only: the earlier content is a strict prefix.
+                assert b.data.startswith(a.data)
+
+    def test_compaction_shrinks_and_is_counted(self):
+        config = MailLogConfig(
+            mailbox_count=2, initial_records=48, version_count=8,
+            compaction_probability=1.0, seed=19,
+        )
+        generator = MailLogGenerator(config)
+        versions = generator.versions()
+        assert generator.compactions > 0
+        shrank = any(
+            b.size < a.size
+            for earlier, later in zip(versions, versions[1:])
+            for a, b in zip(earlier.files, later.files)
+        )
+        assert shrank
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            MailLogConfig(mailbox_count=0)
+        with pytest.raises(ValueError):
+            MailLogConfig(compaction_probability=2.0)
+        with pytest.raises(ValueError):
+            MailLogConfig(record_bytes=0)
