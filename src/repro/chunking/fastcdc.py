@@ -37,6 +37,16 @@ class FastCDCChunker(Chunker):
         self._strict_mask = top_bits_mask(strict_bits)
         self._permissive_mask = top_bits_mask(permissive_bits)
 
+    @property
+    def strict_mask(self) -> np.uint64:
+        """Strict cut mask applied before the average size."""
+        return self._strict_mask
+
+    @property
+    def permissive_mask(self) -> np.uint64:
+        """Permissive cut mask applied after the average size."""
+        return self._permissive_mask
+
     def boundaries(self, data: bytes) -> BoundarySet:
         hashes = gear_hash_positions(data)
         permissive_hits = np.nonzero((hashes & self._permissive_mask) == 0)[0]

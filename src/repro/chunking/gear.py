@@ -70,6 +70,11 @@ class GearChunker(Chunker):
         avg_bits = self.params.avg_size.bit_length() - 1
         self._mask = top_bits_mask(min(avg_bits, HASH_BITS - 1))
 
+    @property
+    def cut_mask(self) -> np.uint64:
+        """The cut-condition mask (a hash is a cut when ``h & mask == 0``)."""
+        return self._mask
+
     def boundaries(self, data: bytes) -> BoundarySet:
         hashes = gear_hash_positions(data)
         hits = np.nonzero((hashes & self._mask) == 0)[0]

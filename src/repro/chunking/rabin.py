@@ -52,6 +52,11 @@ class RabinChunker(Chunker):
         # Cut when the low log2(avg) bits are all ones: density 1/avg.
         self._mask = np.uint64(self.params.avg_size - 1)
 
+    @property
+    def cut_mask(self) -> np.uint64:
+        """The cut-condition mask (a hash is a cut when ``h & mask == mask``)."""
+        return self._mask
+
     def boundaries(self, data: bytes) -> BoundarySet:
         length = len(data)
         if length <= WINDOW:

@@ -8,7 +8,9 @@ Usage::
 
     python -m repro backup  REPO FILE [FILE...]   [--prefix P]
                             [--ingest-segments N] [--flush-buffers N]
+                            [--workers N] [--fingerprint sha1|blake2b]
     python -m repro restore REPO PATH             [--version N] [--output F]
+                            [--workers N]
     python -m repro versions REPO [PATH]
     python -m repro delete  REPO PATH VERSION
     python -m repro space   REPO
@@ -97,6 +99,55 @@ def _resolve_shard_count(root: Path, requested: int | None) -> int:
     return shard_count
 
 
+def _resolve_workers(root: Path, requested: int | None) -> int:
+    """Pin the repo's wall-clock worker count, persisting it on first set.
+
+    Unlike the shard count, workers are a *performance* setting — every
+    worker count produces byte-identical repositories — so a mismatched
+    request simply re-pins the setting instead of refusing to attach.
+    """
+    settings = _load_settings(root)
+    if requested is None:
+        return int(settings.get("workers", 0))
+    if settings.get("workers") != requested:
+        settings["workers"] = requested
+        _save_settings(root, settings)
+    return requested
+
+
+def _resolve_fingerprint(root: Path, requested: str | None) -> str:
+    """Pin the repo's fingerprint algorithm, persisting it on first use.
+
+    Every stored digest — recipes, container metas, index entries — is a
+    function of the algorithm, so a repository must be attached with the
+    algorithm it was created under; a mismatch is refused outright.
+    Repositories predating the setting (data present, no record) are
+    sha1 by construction.
+    """
+    settings = _load_settings(root)
+    if "fingerprint_algo" in settings:
+        stored = str(settings["fingerprint_algo"])
+        if requested is not None and requested != stored:
+            raise ReproError(
+                f"repository fingerprints chunks with {stored}; "
+                f"cannot attach with --fingerprint {requested}"
+            )
+        return stored
+    has_data = any(p.is_dir() for p in root.iterdir())
+    if has_data:
+        if requested is not None and requested != "sha1":
+            raise ReproError(
+                "existing repository predates configurable fingerprints "
+                f"(sha1); cannot attach with --fingerprint {requested}"
+            )
+        algo = "sha1"
+    else:
+        algo = requested or SlimStoreConfig().fingerprint_algo
+    settings["fingerprint_algo"] = algo
+    _save_settings(root, settings)
+    return algo
+
+
 def _durability_overrides(policy: dict) -> dict:
     """Config overrides applying a persisted durability policy dict."""
     return {
@@ -115,6 +166,8 @@ def open_repository(
     index_shards: int | None = None,
     run_recovery: bool = True,
     config_overrides: dict | None = None,
+    workers: int | None = None,
+    fingerprint: str | None = None,
 ) -> SlimStore:
     """Open (or create) a durable repository under ``repo_dir``.
 
@@ -122,11 +175,16 @@ def open_repository(
     so ``repro fsck`` can report the evidence before anything is fixed.
     ``config_overrides`` applies per-invocation settings (the ingest
     pipeline knobs) on top of the repo's pinned configuration; these are
-    run-time tunables, never persisted repository state.
+    run-time tunables, never persisted repository state.  ``workers``
+    and ``fingerprint`` are persisted in ``repro.json``: workers as a
+    sticky performance preference, the fingerprint algorithm as an
+    attach-guarded repository invariant.
     """
     root = Path(repo_dir)
     root.mkdir(parents=True, exist_ok=True)
     shard_count = _resolve_shard_count(root, index_shards)
+    fingerprint_algo = _resolve_fingerprint(root, fingerprint)
+    worker_count = _resolve_workers(root, workers)
     oss = ObjectStorageService(
         backend_factory=lambda bucket: FilesystemBackend(root / bucket)
     )
@@ -141,6 +199,8 @@ def open_repository(
     config = replace(
         SlimStoreConfig(),
         index_shard_count=shard_count,
+        fingerprint_algo=fingerprint_algo,
+        workers=worker_count,
         **overrides,
     )
     store = SlimStore(config, oss)
@@ -159,7 +219,11 @@ def _cmd_backup(args: argparse.Namespace) -> int:
         if args.flush_buffers is not None:
             overrides["flush_buffers"] = args.flush_buffers
     store = open_repository(
-        args.repo, index_shards=args.index_shards, config_overrides=overrides
+        args.repo,
+        index_shards=args.index_shards,
+        config_overrides=overrides,
+        workers=args.workers,
+        fingerprint=args.fingerprint,
     )
     for file_name in args.files:
         source = Path(file_name)
@@ -190,7 +254,7 @@ def _cmd_backup(args: argparse.Namespace) -> int:
 
 
 def _cmd_restore(args: argparse.Namespace) -> int:
-    store = open_repository(args.repo)
+    store = open_repository(args.repo, workers=args.workers)
     result = store.restore(
         args.path,
         args.version,
@@ -543,6 +607,14 @@ def build_parser() -> argparse.ArgumentParser:
     backup.add_argument("--flush-buffers", type=int, default=None,
                         help="extra in-flight container flush buffers "
                              "(1 = double buffering; implies the pipeline)")
+    backup.add_argument("--workers", type=int, default=None,
+                        help="wall-clock worker count for parallel "
+                             "chunk+fingerprint and threaded IO (0 = serial; "
+                             "persisted in repro.json)")
+    backup.add_argument("--fingerprint", choices=["sha1", "blake2b"],
+                        default=None,
+                        help="chunk fingerprint algorithm (pinned at repo "
+                             "creation; attaching with a mismatch is refused)")
     backup.set_defaults(handler=_cmd_backup)
 
     restore = commands.add_parser("restore", help="restore a backup version")
@@ -555,6 +627,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel OSS prefetch channels (0 disables)")
     restore.add_argument("--whole-containers", action="store_true",
                          help="read whole containers instead of ranged GETs")
+    restore.add_argument("--workers", type=int, default=None,
+                         help="wall-clock worker count for concurrent ranged "
+                              "reads (0 = serial; persisted in repro.json)")
     restore.set_defaults(handler=_cmd_restore)
 
     versions = commands.add_parser("versions", help="list live versions")

@@ -146,6 +146,18 @@ class SlimStoreConfig:
     #: Simulated fault domains replica and parity placement spreads over.
     fault_domains: int = 3
 
+    # --- wall-clock execution engine -------------------------------------------
+    #: Real worker count for the parallel execution engine (chunk +
+    #: fingerprint fan-out, vectorised CDC scan, threaded OSS IO).  0 keeps
+    #: today's serial path; any N >= 1 is byte-identical to serial.
+    workers: int = 0
+    #: Compute-pool flavour: "thread" (numpy/hashlib release the GIL) or
+    #: "process" (fork workers for pure-python stages).
+    exec_mode: str = "thread"
+    #: Chunk fingerprint algorithm: "sha1" (default) or "blake2b".  Pinned
+    #: per repository — digests from different algorithms never match.
+    fingerprint_algo: str = "sha1"
+
     # --- cluster --------------------------------------------------------------------
     #: Number of L-nodes available (paper: six ECS instances).
     lnode_count: int = 6
@@ -177,6 +189,19 @@ class SlimStoreConfig:
             raise ValueError(f"ingest_segments cannot be negative: {self.ingest_segments}")
         if self.flush_buffers < 0:
             raise ValueError(f"flush_buffers cannot be negative: {self.flush_buffers}")
+        if self.workers < 0:
+            raise ValueError(f"workers cannot be negative: {self.workers}")
+        if self.exec_mode not in ("thread", "process"):
+            raise ValueError(
+                f"exec_mode must be 'thread' or 'process': {self.exec_mode!r}"
+            )
+        from repro.fingerprint.hashing import FINGERPRINT_ALGORITHMS
+
+        if self.fingerprint_algo not in FINGERPRINT_ALGORITHMS:
+            raise ValueError(
+                f"fingerprint_algo must be one of {list(FINGERPRINT_ALGORITHMS)}: "
+                f"{self.fingerprint_algo!r}"
+            )
         if self.tombstone_grace_epochs < 0:
             raise ValueError(
                 f"tombstone_grace_epochs cannot be negative: {self.tombstone_grace_epochs}"

@@ -50,7 +50,7 @@ from repro.core.container import ContainerBuilder
 from repro.core.recipe import ChunkRecord, Recipe, RecipeHandle, RecipeIndex
 from repro.core.storage import StorageLayer
 from repro.errors import RetryExhaustedError, TransientOSSError
-from repro.fingerprint.hashing import fingerprint
+from repro.fingerprint.hashing import make_fingerprinter
 from repro.fingerprint.sampling import is_sampled
 from repro.sim.cost_model import CostModel
 from repro.sim.events import IngestPipelineStats, simulate_backup_pipeline
@@ -232,12 +232,17 @@ class BackupEngine:
         config: SlimStoreConfig,
         storage: StorageLayer,
         cost_model: CostModel | None = None,
+        executor=None,
     ) -> None:
         self.config = config
         self.storage = storage
         self.cost_model = cost_model or CostModel()
         self._chunker = make_chunker(config.chunker, config.chunker_params())
         self._merge_policy = config.merge_policy()
+        self._fingerprint = make_fingerprinter(config.fingerprint_algo)
+        #: Optional :class:`~repro.exec.engine.ParallelExecutor` running
+        #: the boundary scan and chunk fingerprints on real workers.
+        self._executor = executor
 
     # ------------------------------------------------------------------
     def backup(
@@ -254,10 +259,20 @@ class BackupEngine:
         """
         breakdown = TimeBreakdown()
         counters = Counters()
-        boundary_set = self._chunker.boundaries(data)
+        fp_memo: dict[tuple[int, int], bytes] = {}
+        if self._executor is not None and self._executor.active:
+            # Real workers: vectorised slab scan + pooled fingerprints of
+            # every plain-CDC chunk span.  Both are pure functions of the
+            # payload, so the classification below is byte-identical;
+            # spans it invents itself (skips, superchunks) hash inline.
+            boundary_set, fp_memo = self._executor.chunk_and_fingerprint(
+                self._chunker, data, self.config.fingerprint_algo
+            )
+        else:
+            boundary_set = self._chunker.boundaries(data)
 
         handle, recipe_index = self._detect_base(
-            path, data, boundary_set, breakdown, counters
+            path, data, boundary_set, breakdown, counters, fp_memo
         )
         # Everything charged so far (name lookup, header probe, recipe
         # index fetch) is the pipeline's serial setup prefix.
@@ -276,6 +291,7 @@ class BackupEngine:
             breakdown=breakdown,
             counters=counters,
             rewrite_containers=rewrite_containers or set(),
+            fp_memo=fp_memo,
         )
         job.trace.setup_seconds = setup_seconds
         if counters.get("degraded_events"):
@@ -307,6 +323,7 @@ class BackupEngine:
         boundary_set: BoundarySet,
         breakdown: TimeBreakdown,
         counters: Counters,
+        fp_memo: dict[tuple[int, int], bytes] | None = None,
     ) -> tuple[RecipeHandle | None, RecipeIndex | None]:
         """Step 1: find a historical version or similar file and open it."""
         similar = self.storage.similar_index
@@ -317,7 +334,7 @@ class BackupEngine:
             base = (path, latest)
             counters.add("detect_by_name")
         else:
-            base = self._probe_header(data, boundary_set, breakdown, counters)
+            base = self._probe_header(data, boundary_set, breakdown, counters, fp_memo)
 
         if base is None:
             counters.add("detect_none")
@@ -347,10 +364,12 @@ class BackupEngine:
         boundary_set: BoundarySet,
         breakdown: TimeBreakdown,
         counters: Counters,
+        fp_memo: dict[tuple[int, int], bytes] | None = None,
     ) -> tuple[str, int] | None:
         """Sample header chunks and vote in the similar-file index."""
         limit = min(len(data), self.config.header_probe_bytes)
         view = memoryview(data)
+        memo = fp_memo or {}
         samples: list[bytes] = []
         position = 0
         while position < limit:
@@ -360,7 +379,9 @@ class BackupEngine:
                 "chunking", self.cost_model.chunking_cost(self._chunker.name, len(chunk))
             )
             breakdown.charge("fingerprinting", self.cost_model.fingerprint_cost(len(chunk)))
-            fp = fingerprint(chunk)
+            fp = memo.get((position, end))
+            if fp is None:
+                fp = self._fingerprint(chunk)
             if is_sampled(fp, self.config.similarity_sample_ratio):
                 samples.append(fp)
             position = end
@@ -387,6 +408,7 @@ class _JobState:
         breakdown: TimeBreakdown,
         counters: Counters,
         rewrite_containers: set[int] | None = None,
+        fp_memo: dict[tuple[int, int], bytes] | None = None,
     ) -> None:
         self.engine = engine
         self.config = engine.config
@@ -442,6 +464,36 @@ class _JobState:
         #: memo instead of re-probing the index once per occurrence.
         self._probe_memo: set[bytes] = set()
         self._pending_probes: list[bytes] = []
+        #: (start, end) → digest precomputed by the parallel executor for
+        #: the plain-CDC chunk walk; spans cut by skip-chunking or
+        #: superchunk merging miss it and hash inline via :meth:`_fp`.
+        self._fp_memo = fp_memo or {}
+        self._fingerprint = engine._fingerprint
+        #: Background container flush: with an active executor and no
+        #: fault policy or durability tier (whose seeded RNG draws and
+        #: journaled tier changes must stay in serial order), container
+        #: uploads run on the IO pool, double-buffered against the next
+        #: segment's CPU — for real this time, not just in the event model.
+        io_pool = (
+            engine._executor.io_pool
+            if engine._executor is not None and engine._executor.active
+            else None
+        )
+        self._flush_pool = (
+            io_pool
+            if io_pool is not None
+            and getattr(self.storage.oss, "faults", None) is None
+            and self.storage.durability is None
+            else None
+        )
+        self._pending_flush = None
+
+    def _fp(self, start: int, end: int) -> bytes:
+        """Digest of ``data[start:end]`` — memoised span or inline hash."""
+        digest = self._fp_memo.get((start, end))
+        if digest is None:
+            digest = self._fingerprint(self.view[start:end])
+        return digest
 
     # --- cost helpers ----------------------------------------------------
     # Each helper charges the job breakdown (the paper's categories) and
@@ -524,7 +576,7 @@ class _JobState:
         chunk = self.view[position:end]
         self._charge_skip(len(chunk))
         self._charge_fingerprint(len(chunk))
-        fp = fingerprint(chunk)
+        fp = self._fp(position, end)
         self._charge_compare()
         if fp != predicted.fp:
             # Boundary matched but content changed: fall back to the dedup
@@ -547,7 +599,7 @@ class _JobState:
         """Cut one chunk with CDC and classify it; returns the new position."""
         end = self.boundaries.next_cut(position)
         self._charge_scan(end - position)
-        fp = fingerprint(self.view[position:end])
+        fp = self._fp(position, end)
         self._charge_fingerprint(end - position)
 
         # SuperChunking (Algorithm 1): the cut chunk may be the firstChunk
@@ -572,7 +624,7 @@ class _JobState:
         if sc_end > len(self.data):
             return None
         self._charge_fingerprint(record.size - (end - position))
-        sc_fp = fingerprint(self.view[position:sc_end])
+        sc_fp = self._fp(position, sc_end)
         self._charge_compare()
         if sc_fp != record.fp:
             # Failed: c^n is a plain duplicate of the firstChunk; CDC
@@ -861,7 +913,7 @@ class _JobState:
         payload = self.view[data_start:data_end]
         self._charge_fingerprint(len(payload))
         self._charge_other(len(payload))
-        sc_fp = fingerprint(payload)
+        sc_fp = self._fp(data_start, data_end)
         if self.builder.payload_bytes + len(payload) > self.config.container_bytes:
             self._flush_container()
         offset = self.builder.payload_bytes
@@ -895,19 +947,48 @@ class _JobState:
         if self.builder.is_empty():
             self.builder = self.storage.containers.new_builder(self.config.container_bytes)
             return
-        before = self.storage.oss.stats.snapshot()
-        self.storage.containers.write(self.builder)
-        written = self.storage.oss.stats.diff(before)
-        self.breakdown.charge("upload", written.write_seconds)
+        builder = self.builder
         # A discrete flush event, handed off after the segment being
         # built when the container filled (the event schedule clamps the
         # end-of-stream flush to the last segment).
         self.trace.flush_after.append(len(self.segments))
-        self.trace.flush_seconds.append(written.write_seconds)
-        self.uploaded_bytes += written.bytes_written
         self.counters.add("containers_written")
-        self.new_container_ids.append(self.builder.container_id)
+        self.new_container_ids.append(builder.container_id)
         self.builder = self.storage.containers.new_builder(self.config.container_bytes)
+        if self._flush_pool is None:
+            before = self.storage.oss.stats.snapshot()
+            self.storage.containers.write(builder)
+            written = self.storage.oss.stats.diff(before)
+            self.breakdown.charge("upload", written.write_seconds)
+            self.trace.flush_seconds.append(written.write_seconds)
+            self.uploaded_bytes += written.bytes_written
+            return
+        # Double buffering: at most one upload in flight, joined (and its
+        # virtual time charged, in submit order) before the next departs.
+        self._join_flush()
+        self._pending_flush = self._flush_pool.submit(self._write_container, builder)
+
+    def _write_container(self, builder: ContainerBuilder) -> tuple[float, int]:
+        """IO-pool task: persist one container, return its write charges.
+
+        Only the write-side stats fields are diffed: the main thread may
+        concurrently charge *reads*, but with a single flush in flight
+        this task is the only writer of ``write_seconds``/``bytes_written``.
+        """
+        stats = self.storage.oss.stats
+        before_seconds = stats.write_seconds
+        before_bytes = stats.bytes_written
+        self.storage.containers.write(builder)
+        return stats.write_seconds - before_seconds, stats.bytes_written - before_bytes
+
+    def _join_flush(self) -> None:
+        if self._pending_flush is None:
+            return
+        write_seconds, bytes_written = self._pending_flush.result()
+        self._pending_flush = None
+        self.breakdown.charge("upload", write_seconds)
+        self.trace.flush_seconds.append(write_seconds)
+        self.uploaded_bytes += bytes_written
 
     def finish(self) -> BackupResult:
         """Persist recipe, recipe index and similarity registration.
@@ -920,6 +1001,10 @@ class _JobState:
         discard path in :mod:`repro.core.recovery` unwinds, so keep them
         in this sequence.
         """
+        # The last container upload may still be in flight on the IO
+        # pool; every container precedes the recipe in the write order,
+        # and the write-seconds diff below must not race it.
+        self._join_flush()
         recipe = Recipe(
             path=self.path,
             version=self.version,

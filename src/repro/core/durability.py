@@ -187,12 +187,14 @@ class DurabilityManager:
         containers: ContainerStore,
         policy: ReplicationPolicy,
         journal: "IntentJournal | None" = None,
+        fingerprinter=None,
     ) -> None:
         self._containers = containers
         self._oss = containers.oss
         self._bucket = containers._bucket
         self.policy = policy
         self.journal = journal
+        self._fingerprint = fingerprinter or fingerprint
         self._records: dict[int, dict[str, Any]] = {}
         self._stripes: dict[int, dict[str, Any]] = {}
         self._next_sid = 0
@@ -962,7 +964,7 @@ class DurabilityManager:
             if entry is None:
                 continue
             chunk = payload[entry.offset : entry.offset + entry.size]
-            if len(chunk) == entry.size and fingerprint(chunk) == fp:
+            if len(chunk) == entry.size and self._fingerprint(chunk) == fp:
                 self.degraded_chunk_reads += 1
                 return chunk
         return None

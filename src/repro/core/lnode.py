@@ -33,11 +33,15 @@ class LNode:
         config: SlimStoreConfig,
         storage: StorageLayer,
         cost_model: CostModel | None = None,
+        executor=None,
     ) -> None:
         self.node_id = node_id
         self.config = config
         self.storage = storage
         self.cost_model = cost_model or CostModel()
+        #: Shared wall-clock executor (None below ``workers=1``); engines
+        #: are per-job, but worker pools are warm, so they live here.
+        self.executor = executor
         self.jobs_executed = 0
 
     def backup(
@@ -47,7 +51,9 @@ class LNode:
         rewrite_containers: set[int] | None = None,
     ) -> BackupResult:
         """Run one backup job (a fresh engine per job: no node state)."""
-        engine = BackupEngine(self.config, self.storage, self.cost_model)
+        engine = BackupEngine(
+            self.config, self.storage, self.cost_model, executor=self.executor
+        )
         self.jobs_executed += 1
         return engine.backup(path, data, rewrite_containers=rewrite_containers)
 

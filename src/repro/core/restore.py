@@ -132,6 +132,7 @@ class RestoreEngine:
         self.config = config
         self.storage = storage
         self.cost_model = cost_model or CostModel()
+        self._fingerprint = getattr(storage, "fingerprinter", fingerprint)
 
     def restore(
         self,
@@ -210,7 +211,7 @@ class RestoreEngine:
             cpu = 0.0
             if check:
                 cpu += self.cost_model.fingerprint_cost(len(data))
-                if fingerprint(data) != record.fp:
+                if self._fingerprint(data) != record.fp:
                     healed, heal_seconds = self._heal_chunk(
                         record, breakdown, counters
                     )
@@ -286,7 +287,7 @@ class RestoreEngine:
                 if owner is not None and owner != record.container_id:
                     data = durability.fetch_chunk(owner, record.fp)
         breakdown.charge("download", meter.seconds)
-        if data is None or fingerprint(data) != record.fp:
+        if data is None or self._fingerprint(data) != record.fp:
             return None, meter.seconds
         counters.add("degraded_chunk_reads")
         counters.add(

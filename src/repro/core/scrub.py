@@ -76,6 +76,7 @@ class RepositoryScrubber:
 
     def __init__(self, storage: StorageLayer) -> None:
         self.storage = storage
+        self._fingerprint = getattr(storage, "fingerprinter", fingerprint)
 
     def scrub(
         self,
@@ -108,7 +109,7 @@ class RepositoryScrubber:
             for entry in meta.live_lookup_entries():
                 chunk = payload[entry.offset : entry.offset + entry.size]
                 report.chunks_verified += 1
-                if fingerprint(chunk) != entry.fp:
+                if self._fingerprint(chunk) != entry.fp:
                     report.corrupt_chunks.append((cid, entry.fp))
 
     def _scrub_recipes(
@@ -239,6 +240,6 @@ class RepositoryScrubber:
                     continue
                 payload_cache[cid] = payload
             chunk = payload[entry.offset : entry.offset + entry.size]
-            if fingerprint(chunk) == fp:
+            if self._fingerprint(chunk) == fp:
                 return chunk
         return None

@@ -15,6 +15,7 @@ from repro.core.global_index import GlobalIndex
 from repro.core.journal import IntentJournal
 from repro.core.recipe import RecipeStore
 from repro.core.similar_index import SimilarFileIndex
+from repro.fingerprint.hashing import Fingerprinter, fingerprint, make_fingerprinter
 from repro.oss.object_store import ObjectStorageService
 from repro.oss.retry import RetryingObjectStore, RetryPolicy
 
@@ -55,6 +56,9 @@ class StorageLayer:
     journal: IntentJournal
     #: The heat-aware replication/erasure tier (None when disabled).
     durability: DurabilityManager | None = None
+    #: Chunk fingerprint function — one per repository, shared by every
+    #: engine that hashes or verifies payloads (dedup, restore, scrub).
+    fingerprinter: Fingerprinter = fingerprint
 
     def meter_reads(self) -> ReadMeter:
         """A :class:`ReadMeter` over this layer's OSS endpoint."""
@@ -72,6 +76,7 @@ class StorageLayer:
         index_shard_count: int = 1,
         tombstone_grace_epochs: int = 0,
         durability_policy: ReplicationPolicy | None = None,
+        fingerprint_algo: str = "sha1",
     ) -> "StorageLayer":
         """Create all stores on one OSS endpoint.
 
@@ -82,6 +87,7 @@ class StorageLayer:
         it for journaled in-place rewrites, plus the tombstone grace.
         """
         endpoint = oss if retry_policy is None else RetryingObjectStore(oss, retry_policy)
+        fingerprinter = make_fingerprinter(fingerprint_algo)
         journal = IntentJournal(endpoint, bucket)
         containers = ContainerStore(
             endpoint,
@@ -91,7 +97,9 @@ class StorageLayer:
         )
         durability = None
         if durability_policy is not None:
-            durability = DurabilityManager(containers, durability_policy, journal)
+            durability = DurabilityManager(
+                containers, durability_policy, journal, fingerprinter=fingerprinter
+            )
             containers.durability = durability
         return cls(
             oss=endpoint,
@@ -107,4 +115,5 @@ class StorageLayer:
             ),
             journal=journal,
             durability=durability,
+            fingerprinter=fingerprinter,
         )

@@ -281,9 +281,22 @@ class SlimStore:
             index_shard_count=self.config.index_shard_count,
             tombstone_grace_epochs=self.config.tombstone_grace_epochs,
             durability_policy=self.config.durability_policy(),
+            fingerprint_algo=self.config.fingerprint_algo,
         )
+        #: Wall-clock parallel execution engine (None when ``workers=0``):
+        #: one shared instance so worker pools stay warm across jobs.
+        self.executor = None
+        if self.config.workers > 0:
+            from repro.exec import ParallelExecutor
+
+            self.executor = ParallelExecutor(
+                self.config.workers, mode=self.config.exec_mode
+            )
+            # Concurrent ranged GETs ride the same pool (the raw endpoint
+            # only uses it when no fault policy is installed).
+            self.oss.io_pool = self.executor.io_pool
         self.lnodes = [
-            LNode(i, self.config, self.storage, self.cost_model)
+            LNode(i, self.config, self.storage, self.cost_model, self.executor)
             for i in range(self.config.lnode_count)
         ]
         self.gnode = GNode(self.config, self.storage, self.cost_model)
@@ -297,6 +310,19 @@ class SlimStore:
         self.last_recovery = None
 
     CATALOG_KEY = "catalog/state.json"
+
+    def close(self) -> None:
+        """Shut down worker pools and release cached file descriptors.
+
+        Idempotent; a no-op for the default serial configuration.
+        """
+        if self.executor is not None:
+            self.executor.close()
+            self.oss.io_pool = None
+        for name in self.oss.bucket_names():
+            backend_close = getattr(self.oss._backend(name), "close", None)
+            if backend_close is not None:
+                backend_close()
 
     # --- durable repositories --------------------------------------------------
     def recover(self, run_recovery: bool = True) -> bool:

@@ -1,0 +1,52 @@
+"""Bounded thread pool for OSS IO.
+
+Filesystem-backend reads and container PUTs are byte-shuffling syscalls
+that release the GIL, so a small thread pool overlaps them for real
+wall-clock wins.  The pool is lazy (no threads until first submit) and
+bounded — submissions past the bound queue rather than spawning.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+
+class IOPool:
+    """A lazily-started, bounded worker pool for storage IO."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"IOPool needs at least one worker: {workers}")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-io"
+                )
+            return self._pool
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        return self._ensure().submit(fn, *args, **kwargs)
+
+    def map(self, fn: Callable[..., Any], iterable) -> list[Any]:
+        """Apply ``fn`` across ``iterable`` concurrently, preserving order."""
+        futures = [self.submit(fn, item) for item in iterable]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "IOPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,156 @@
+"""Log-doubling vectorised CDC boundary scans.
+
+The serial chunkers evaluate every window with a per-byte python loop over
+numpy columns: WINDOW (32 or 48) shifted adds per buffer.  That is O(W·n)
+work with W python-level iterations.  This module computes the same rolling
+hashes with O(log W) whole-buffer numpy passes via *log doubling*:
+
+  - build windowed hashes for power-of-two spans by combining a span with
+    the adjacent span of equal width (``W_2k[j] = combine(W_k[j], W_k[j+k],
+    k)``), doubling ``k`` each pass;
+  - fold the binary decomposition of WINDOW (e.g. 48 = 32 + 16) the same
+    way, widest span first.
+
+For gear the combine is shift-and-add in uint32 (a 32-bit hash wraps the
+same way the serial uint64-masked loop does); for rabin it is
+multiply-and-add in uint64, where the uint64 wraparound *is* the mod-2^64
+ring of the serial polynomial.  Both produce bit-identical hashes to the
+serial loops, verified by tests/exec/test_vectorscan.py.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.chunking import fastcdc, gear, rabin
+from repro.chunking.base import Chunker
+
+_GEAR_TABLE32 = gear.GEAR_TABLE.astype(np.uint32)
+
+#: rabin PRIME^span mod 2^64 for every power-of-two span + the fold spans.
+_RABIN_POWERS: dict[int, np.uint64] = {}
+
+
+def _rabin_power(span: int) -> np.uint64:
+    power = _RABIN_POWERS.get(span)
+    if power is None:
+        power = np.uint64(pow(int(rabin.PRIME), span, 1 << 64))
+        _RABIN_POWERS[span] = power
+    return power
+
+
+def _windowed(
+    values: np.ndarray,
+    window: int,
+    combine: Callable[[np.ndarray, np.ndarray, int], np.ndarray],
+) -> np.ndarray:
+    """Hashes of every ``window``-wide span of ``values`` via log doubling.
+
+    ``combine(left, right, span)`` must merge a span's hash with the hash
+    of the ``span``-wide run immediately to its right.  Returns one hash
+    per window position: entry ``j`` covers ``values[j : j + window]``.
+    """
+    n = len(values)
+    if n < window:
+        return values[:0]
+    pot = {1: values}
+    k = 1
+    acc = values
+    while k * 2 <= window:
+        m = n - 2 * k + 1
+        acc = combine(acc[:m], acc[k : k + m], k)
+        k *= 2
+        pot[k] = acc
+    spans = sorted((b for b in pot if window & b), reverse=True)
+    result = pot[spans[0]]
+    covered = spans[0]
+    for b in spans[1:]:
+        m = n - covered - b + 1
+        result = combine(result[:m], pot[b][covered : covered + m], b)
+        covered += b
+    return result
+
+
+def _gear_combine(left: np.ndarray, right: np.ndarray, span: int) -> np.ndarray:
+    return (left << np.uint32(span)) + right
+
+
+def _rabin_combine(left: np.ndarray, right: np.ndarray, span: int) -> np.ndarray:
+    return left * _rabin_power(span) + right
+
+
+def gear_hashes(data: bytes | memoryview) -> np.ndarray:
+    """uint32 gear hash per window position; equals the serial scan mod 2^32."""
+    values = _GEAR_TABLE32[np.frombuffer(data, dtype=np.uint8)]
+    with np.errstate(over="ignore"):
+        return _windowed(values, gear.WINDOW, _gear_combine)
+
+
+def rabin_hashes(data: bytes | memoryview) -> np.ndarray:
+    """uint64 rabin polynomial hash per window position, bit-exact vs serial."""
+    values = np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        return _windowed(values, rabin.WINDOW, _rabin_combine)
+
+
+def scan_window(chunker: Chunker) -> int | None:
+    """The chunker's window width, or None if it has no vectorised scan."""
+    if chunker.name in ("gear", "fastcdc"):
+        return gear.WINDOW
+    if chunker.name == "rabin":
+        return rabin.WINDOW
+    return None
+
+
+def slab_scan(
+    chunker: Chunker, buf: bytes | memoryview
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Cut positions within a slab, *without* the rabin length quirk.
+
+    Evaluates every full window the slab holds; callers slabbing a larger
+    buffer apply length rules (and offset mapping) at the full-buffer
+    level.  Positions are slab-local stream offsets (window end), int64
+    ascending.
+    """
+    name = chunker.name
+    if name == "gear":
+        hashes = gear_hashes(buf)
+        mask = np.uint32(chunker.cut_mask)
+        hits = np.nonzero((hashes & mask) == 0)[0]
+        return hits.astype(np.int64) + gear.WINDOW, None
+    if name == "fastcdc":
+        hashes = gear_hashes(buf)
+        permissive_mask = np.uint32(chunker.permissive_mask)
+        strict_mask = np.uint32(chunker.strict_mask)
+        permissive = np.nonzero((hashes & permissive_mask) == 0)[0]
+        strict = np.nonzero((hashes & strict_mask) == 0)[0]
+        return (
+            permissive.astype(np.int64) + fastcdc.WINDOW,
+            strict.astype(np.int64) + fastcdc.WINDOW,
+        )
+    if name == "rabin":
+        hashes = rabin_hashes(buf)
+        mask = chunker.cut_mask
+        hits = np.nonzero((hashes & mask) == mask)[0]
+        return hits.astype(np.int64) + rabin.WINDOW, None
+    raise ValueError(f"no vectorised scan for chunker {name!r}")
+
+
+def scan_positions(
+    chunker: Chunker, data: bytes | memoryview
+) -> tuple[np.ndarray, np.ndarray | None] | None:
+    """(permissive, strict) cut positions for ``data``, or None if the
+    chunker has no vectorised scan (fixed, unknown).
+
+    Positions are stream offsets (window end), int64 ascending — exactly
+    what the serial ``boundaries`` feeds to ``BoundarySet``.  The rabin
+    length quirk is preserved: the serial scan returns no positions for
+    ``len(data) <= WINDOW`` even though a 48-byte buffer holds one window.
+    """
+    if scan_window(chunker) is None:
+        return None
+    if chunker.name == "rabin" and len(data) <= rabin.WINDOW:
+        return np.empty(0, dtype=np.int64), None
+    return slab_scan(chunker, data)

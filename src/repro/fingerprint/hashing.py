@@ -2,15 +2,30 @@
 
 The paper fingerprints chunks with a cryptographically secure hash (SHA-1
 or SHA-256) and treats equal fingerprints as equal content.  We default to
-SHA-1, whose 20-byte digests also match the paper's recipe layout.
+SHA-1, whose 20-byte digests also match the paper's recipe layout; BLAKE2b
+(truncated to the same 20 bytes, so every on-disk layout is unchanged) is
+available as a repository-pinned alternative via
+``SlimStoreConfig.fingerprint_algo``.
+
+Both algorithms release the GIL inside hashlib for buffers past ~2 KiB,
+which is what lets the parallel execution engine fingerprint chunk batches
+on a thread pool (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations
 
 import hashlib
+from typing import Callable
 
-#: Size in bytes of a fingerprint digest.
+#: Size in bytes of a fingerprint digest (identical for every algorithm,
+#: so recipes, container metas and index entries never change layout).
 FP_SIZE = 20
+
+#: Supported fingerprint algorithms, in preference order.
+FINGERPRINT_ALGORITHMS = ("sha1", "blake2b")
+
+#: A fingerprint function: chunk payload -> FP_SIZE-byte digest.
+Fingerprinter = Callable[[bytes | memoryview], bytes]
 
 
 def fingerprint(data: bytes | memoryview) -> bytes:
@@ -21,3 +36,26 @@ def fingerprint(data: bytes | memoryview) -> bytes:
 def fingerprint_hex(data: bytes | memoryview) -> str:
     """Hex form of :func:`fingerprint`, for logs and object keys."""
     return hashlib.sha1(data).hexdigest()
+
+
+def _blake2b_fingerprint(data: bytes | memoryview) -> bytes:
+    """BLAKE2b digest truncated to the recipe layout's 20 bytes."""
+    return hashlib.blake2b(data, digest_size=FP_SIZE).digest()
+
+
+def make_fingerprinter(algo: str = "sha1") -> Fingerprinter:
+    """The fingerprint function for ``algo`` ("sha1" or "blake2b").
+
+    Every returned function emits :data:`FP_SIZE`-byte digests, so the
+    choice never leaks into storage formats — but digests from different
+    algorithms never collide meaningfully, which is why the CLI pins the
+    algorithm per repository and refuses mismatched attaches.
+    """
+    if algo == "sha1":
+        return fingerprint
+    if algo == "blake2b":
+        return _blake2b_fingerprint
+    raise ValueError(
+        f"unknown fingerprint algorithm: {algo!r} "
+        f"(choose from {list(FINGERPRINT_ALGORITHMS)})"
+    )

@@ -9,7 +9,9 @@ under a directory for the examples that want durable state.
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from collections.abc import Iterator
 from pathlib import Path
 
@@ -24,6 +26,18 @@ class StorageBackend(ABC):
     @abstractmethod
     def get(self, key: str) -> bytes | None:
         """Return the bytes stored under ``key`` or None if absent."""
+
+    def get_range(self, key: str, offset: int, length: int) -> bytes | None:
+        """``length`` bytes at ``offset`` of the object, or None if absent.
+
+        The default slices a whole :meth:`get`; backends with real random
+        access (files) override it to read only the requested span, which
+        is also what makes concurrent ranged reads cheap.
+        """
+        data = self.get(key)
+        if data is None:
+            return None
+        return data[offset : offset + length]
 
     @abstractmethod
     def delete(self, key: str) -> bool:
@@ -82,11 +96,57 @@ class FilesystemBackend(StorageBackend):
 
     Keys may contain ``/`` which map to subdirectories.  Used by examples
     that want backups to survive process restarts.
+
+    Ranged reads go through :func:`os.pread` on a small LRU cache of open
+    descriptors: pread carries its own offset, so any number of IO-pool
+    threads can read the same container concurrently with no seek state to
+    race on.  ``put``/``delete`` swap the inode (atomic ``os.replace``),
+    so both invalidate the cached descriptor under the lock.
     """
+
+    _FD_CACHE_SIZE = 128
 
     def __init__(self, root: str | Path) -> None:
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
+        self._fds: OrderedDict[str, int] = OrderedDict()
+        self._fd_lock = threading.Lock()
+
+    def _fd(self, key: str, path: Path) -> int | None:
+        with self._fd_lock:
+            fd = self._fds.get(key)
+            if fd is not None:
+                self._fds.move_to_end(key)
+                return fd
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except FileNotFoundError:
+            return None
+        with self._fd_lock:
+            raced = self._fds.get(key)
+            if raced is not None:
+                # Another thread opened it first; keep theirs.
+                self._fds.move_to_end(key)
+                os.close(fd)
+                return raced
+            self._fds[key] = fd
+            while len(self._fds) > self._FD_CACHE_SIZE:
+                _, old = self._fds.popitem(last=False)
+                os.close(old)
+        return fd
+
+    def _drop_fd(self, key: str) -> None:
+        with self._fd_lock:
+            fd = self._fds.pop(key, None)
+        if fd is not None:
+            os.close(fd)
+
+    def close(self) -> None:
+        """Release every cached descriptor."""
+        with self._fd_lock:
+            fds, self._fds = list(self._fds.values()), OrderedDict()
+        for fd in fds:
+            os.close(fd)
 
     def _path(self, key: str) -> Path:
         if not key or key.startswith("/") or ".." in key.split("/"):
@@ -107,6 +167,7 @@ class FilesystemBackend(StorageBackend):
         except OSError:
             tmp.unlink(missing_ok=True)
             raise
+        self._drop_fd(key)
 
     def get(self, key: str) -> bytes | None:
         path = self._path(key)
@@ -114,11 +175,26 @@ class FilesystemBackend(StorageBackend):
             return None
         return path.read_bytes()
 
+    def get_range(self, key: str, offset: int, length: int) -> bytes | None:
+        fd = self._fd(key, self._path(key))
+        if fd is None:
+            return None
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            piece = os.pread(fd, remaining, offset + length - remaining)
+            if not piece:
+                break
+            chunks.append(piece)
+            remaining -= len(piece)
+        return b"".join(chunks)
+
     def delete(self, key: str) -> bool:
         path = self._path(key)
         if not path.is_file():
             return False
         path.unlink()
+        self._drop_fd(key)
         return True
 
     def keys(self) -> Iterator[str]:

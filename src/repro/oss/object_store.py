@@ -11,6 +11,7 @@ numbers in the restore experiments come from.
 from __future__ import annotations
 
 import inspect
+import threading
 from dataclasses import dataclass
 
 from repro.errors import BucketNotFoundError, ObjectNotFoundError, TransientOSSError
@@ -76,9 +77,17 @@ class ObjectStorageService:
         self.clock = clock or SimClock()
         self.stats = OssStats()
         self.faults = faults
+        #: Optional :class:`~repro.exec.iopool.IOPool` for concurrent
+        #: backend reads; attached by the system when ``workers > 0``.
+        #: Virtual-time charging stays serial (and identical) either way.
+        self.io_pool = None
         self._backend_factory = backend_factory
         self._factory_takes_name = self._accepts_bucket_name(backend_factory)
         self._buckets: dict[str, StorageBackend] = {}
+        # Clock advances and stats mutations are read-modify-write; the
+        # async container flusher runs PUTs on a worker thread, so every
+        # charge section serialises on this lock.
+        self._mutex = threading.Lock()
 
     def set_fault_policy(self, faults: FaultPolicy | None) -> None:
         """Install (or remove, with None) the fault-injection policy."""
@@ -157,10 +166,11 @@ class ObjectStorageService:
         )
         if not piggyback:
             seconds += self.cost_model.oss_request_latency
-        self.clock.advance(seconds)
-        self.stats.put_requests += 1
-        self.stats.bytes_written += len(payload)
-        self.stats.write_seconds += seconds
+        with self._mutex:
+            self.clock.advance(seconds)
+            self.stats.put_requests += 1
+            self.stats.bytes_written += len(payload)
+            self.stats.write_seconds += seconds
         if torn is not None:
             # The connection dropped mid-upload: a truncated object was
             # persisted and the client sees a retryable failure.
@@ -184,21 +194,28 @@ class ObjectStorageService:
         self._charge_read(len(data), channels, piggyback, extra)
         return data
 
+    @staticmethod
+    def _check_bounds(
+        bucket: str, key: str, offset: int, length: int, size: int | None
+    ) -> None:
+        if size is None:
+            raise ObjectNotFoundError(bucket, key)
+        if offset < 0 or length < 0 or offset + length > size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) outside object of "
+                f"{size} bytes: oss://{bucket}/{key}"
+            )
+
     def get_range(
         self, bucket: str, key: str, offset: int, length: int, channels: int = 1
     ) -> bytes:
         """Ranged GET of ``length`` bytes starting at ``offset``."""
         backend = self._backend(bucket)
         extra = self._fault_gate("get", bucket, key)
-        data = backend.get(key)
-        if data is None:
+        self._check_bounds(bucket, key, offset, length, backend.size(key))
+        chunk = backend.get_range(key, offset, length)
+        if chunk is None:
             raise ObjectNotFoundError(bucket, key)
-        if offset < 0 or length < 0 or offset + length > len(data):
-            raise ValueError(
-                f"range [{offset}, {offset + length}) outside object of "
-                f"{len(data)} bytes: oss://{bucket}/{key}"
-            )
-        chunk = data[offset : offset + length]
         chunk = self._filter_read(chunk)
         self._charge_read(length, channels, extra=extra)
         return chunk
@@ -213,20 +230,37 @@ class ObjectStorageService:
         bandwidth — coalescing adjacent chunk extents *before* calling
         this is what makes ranged restore reads cheaper than one GET per
         chunk.  Returns the span payloads in call order.
+
+        With an IO pool attached and no fault policy, the backend reads
+        run concurrently on the pool; the virtual-time charges stay serial
+        and in span order, so accounting is identical to the serial path.
+        A fault policy forces the serial path — its seeded RNG draws must
+        happen in span order.
         """
         backend = self._backend(bucket)
-        results: list[bytes] = []
+        if self.io_pool is not None and self.faults is None and len(spans) > 1:
+            size = backend.size(key)
+            for offset, length in spans:
+                self._check_bounds(bucket, key, offset, length, size)
+            futures = [
+                self.io_pool.submit(backend.get_range, key, offset, length)
+                for offset, length in spans
+            ]
+            results = []
+            for (offset, length), future in zip(spans, futures):
+                chunk = future.result()
+                if chunk is None:
+                    raise ObjectNotFoundError(bucket, key)
+                self._charge_read(length, channels)
+                results.append(chunk)
+            return results
+        results = []
         for offset, length in spans:
             extra = self._fault_gate("get", bucket, key)
-            data = backend.get(key)
-            if data is None:
+            self._check_bounds(bucket, key, offset, length, backend.size(key))
+            chunk = backend.get_range(key, offset, length)
+            if chunk is None:
                 raise ObjectNotFoundError(bucket, key)
-            if offset < 0 or length < 0 or offset + length > len(data):
-                raise ValueError(
-                    f"range [{offset}, {offset + length}) outside object of "
-                    f"{len(data)} bytes: oss://{bucket}/{key}"
-                )
-            chunk = data[offset : offset + length]
             chunk = self._filter_read(chunk)
             self._charge_read(length, channels, extra=extra)
             results.append(chunk)
@@ -237,23 +271,26 @@ class ObjectStorageService:
         backend = self._backend(bucket)
         extra = self._fault_gate("delete", bucket, key)
         existed = backend.delete(key)
-        self.clock.advance(self.cost_model.oss_request_latency + extra)
-        self.stats.delete_requests += 1
+        with self._mutex:
+            self.clock.advance(self.cost_model.oss_request_latency + extra)
+            self.stats.delete_requests += 1
         return existed
 
     def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
         """Sorted keys in ``bucket`` starting with ``prefix``."""
         backend = self._backend(bucket)
         extra = self._fault_gate("list", bucket, prefix)
-        self.clock.advance(self.cost_model.oss_request_latency + extra)
-        self.stats.list_requests += 1
+        with self._mutex:
+            self.clock.advance(self.cost_model.oss_request_latency + extra)
+            self.stats.list_requests += 1
         return [key for key in backend.keys() if key.startswith(prefix)]
 
     def head_object(self, bucket: str, key: str) -> int | None:
         """Size of ``key`` in bytes, or None if absent (no payload cost)."""
         backend = self._backend(bucket)
         extra = self._fault_gate("head", bucket, key)
-        self.clock.advance(self.cost_model.oss_request_latency + extra)
+        with self._mutex:
+            self.clock.advance(self.cost_model.oss_request_latency + extra)
         return backend.size(key)
 
     def object_exists(self, bucket: str, key: str) -> bool:
@@ -288,10 +325,11 @@ class ObjectStorageService:
         )
         if not piggyback:
             seconds += self.cost_model.oss_request_latency
-        self.clock.advance(seconds)
-        self.stats.get_requests += 1
-        self.stats.bytes_read += nbytes
-        self.stats.read_seconds += seconds
+        with self._mutex:
+            self.clock.advance(seconds)
+            self.stats.get_requests += 1
+            self.stats.bytes_read += nbytes
+            self.stats.read_seconds += seconds
 
     # --- fault injection -----------------------------------------------------
     def _fault_gate(self, op: str, bucket: str, key: str) -> float:

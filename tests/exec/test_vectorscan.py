@@ -1,0 +1,112 @@
+"""The vectorised CDC kernels are bit-exact replicas of the serial scans.
+
+Every claim the parallel engine makes rests on these equalities: the
+log-doubling gear hash equals the serial shift-add loop mod 2^32, the
+log-doubling rabin polynomial equals the serial multiply-accumulate in the
+mod-2^64 ring, and ``scan_positions`` therefore reproduces every chunker's
+``boundaries`` — including the rabin short-buffer quirk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking import gear, rabin
+from repro.chunking.base import ChunkerParams, make_chunker
+from repro.exec.vectorscan import gear_hashes, rabin_hashes, scan_positions
+
+PARAMS = ChunkerParams(min_size=128, avg_size=2048, max_size=16384)
+
+
+def _payload(seed: int, size: int) -> bytes:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+def _serial_rabin(data: bytes) -> np.ndarray:
+    """The serial multiply-accumulate loop from RabinChunker.boundaries."""
+    stream = np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
+    window_count = len(data) - rabin.WINDOW + 1
+    with np.errstate(over="ignore"):
+        acc = np.zeros(window_count, dtype=np.uint64)
+        for t in range(rabin.WINDOW):
+            acc += stream[t : t + window_count] * rabin._COEFFICIENTS[t]
+    return acc
+
+
+@pytest.mark.parametrize("size", [32, 33, 100, 4096, 1 << 17])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_gear_hashes_match_serial(seed, size):
+    data = _payload(seed, size)
+    serial = gear.gear_hash_positions(data)
+    vectorised = gear_hashes(data)
+    assert vectorised.dtype == np.uint32
+    assert np.array_equal(serial.astype(np.uint32), vectorised)
+
+
+def test_gear_hashes_short_buffer_is_empty():
+    assert gear_hashes(b"x" * (gear.WINDOW - 1)).size == 0
+
+
+@pytest.mark.parametrize("size", [48, 49, 100, 4096, 1 << 16])
+@pytest.mark.parametrize("seed", [1, 11])
+def test_rabin_hashes_match_serial(seed, size):
+    data = _payload(seed, size)
+    assert np.array_equal(_serial_rabin(data), rabin_hashes(data))
+
+
+def _assert_same_boundaries(chunker, data: bytes) -> None:
+    serial = chunker.boundaries(data)
+    scanned = scan_positions(chunker, data)
+    assert scanned is not None
+    permissive, strict = scanned
+    assert np.array_equal(serial._positions, permissive)
+    if strict is None:
+        assert np.array_equal(serial._strict, serial._positions)
+    else:
+        assert np.array_equal(serial._strict, strict)
+
+
+@pytest.mark.parametrize("name", ["gear", "fastcdc", "rabin"])
+@pytest.mark.parametrize("size", [0, 31, 47, 48, 49, 1000, 1 << 16])
+def test_scan_positions_match_boundaries(name, size):
+    chunker = make_chunker(name, PARAMS)
+    _assert_same_boundaries(chunker, _payload(3, size))
+
+
+def test_scan_positions_none_for_fixed():
+    chunker = make_chunker("fixed", PARAMS)
+    assert scan_positions(chunker, b"x" * 1000) is None
+
+
+def test_rabin_quirk_exact_window_yields_no_positions():
+    """The serial rabin scan returns nothing for length <= WINDOW even
+    though a 48-byte buffer holds exactly one window; the vectorised scan
+    must reproduce that, not 'fix' it."""
+    chunker = make_chunker("rabin", PARAMS)
+    data = _payload(5, rabin.WINDOW)
+    assert len(chunker.boundaries(data)._positions) == 0
+    permissive, _ = scan_positions(chunker, data)
+    assert permissive.size == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    size=st.integers(0, 3000),
+    name=st.sampled_from(["gear", "fastcdc", "rabin"]),
+)
+def test_scan_positions_property(seed, size, name):
+    chunker = make_chunker(name, PARAMS)
+    _assert_same_boundaries(chunker, _payload(seed, size))
+
+
+def test_low_entropy_buffers():
+    """Constant and repeating buffers stress hash wraparound paths."""
+    for name in ("gear", "fastcdc", "rabin"):
+        chunker = make_chunker(name, PARAMS)
+        for data in (b"\x00" * 5000, b"\xff" * 5000, bytes(range(256)) * 20):
+            _assert_same_boundaries(chunker, data)

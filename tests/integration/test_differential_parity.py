@@ -22,7 +22,12 @@ from repro.baselines import (
 )
 from repro.core.storage import StorageLayer
 from repro.oss.object_store import ObjectStorageService
-from tests.conftest import SMALL_CONFIG, make_version_chain
+from tests.conftest import (
+    SMALL_CONFIG,
+    bucket_state,
+    make_chaos_store,
+    make_version_chain,
+)
 
 SYSTEMS = ["slimstore", "ddfs", "restic", "silo", "sparse_indexing", "har"]
 
@@ -201,3 +206,126 @@ def test_diversity_workloads_all_systems_agree(diversity_restored):
     reference = diversity_restored[SYSTEMS[0]]
     for name in SYSTEMS[1:]:
         assert diversity_restored[name] == reference, f"{name} != {SYSTEMS[0]}"
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel SLIMSTORE parity
+# ---------------------------------------------------------------------------
+
+#: (workers, exec_mode) points covering thread fan-out and process fan-out.
+PARALLEL_MODES = [(1, "thread"), (4, "thread"), (2, "process")]
+
+
+def _parity_workload(seed: int) -> dict[str, list[bytes]]:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return {
+        "db/accounts.tbl": make_version_chain(rng, versions=3, size=128 * 1024),
+        "home/report.doc": make_version_chain(
+            rng, versions=3, size=64 * 1024, runs=3, run_bytes=4 * 1024
+        ),
+    }
+
+
+def _run_slimstore(
+    workload: dict[str, list[bytes]],
+    workers: int,
+    exec_mode: str,
+    *,
+    chaos_seed: int | None = None,
+    **rates,
+):
+    """Ingest + restore the workload; return (bucket bytes, restores)."""
+    config = SMALL_CONFIG.with_overrides(workers=workers, exec_mode=exec_mode)
+    if chaos_seed is None:
+        store = SlimStore(config)
+    else:
+        store, _faults = make_chaos_store(seed=chaos_seed, config=config, **rates)
+    try:
+        for path, versions in workload.items():
+            for data in versions:
+                store.backup(path, data)
+        restores = {
+            (path, version): store.restore(path, version).data
+            for path, versions in workload.items()
+            for version in range(len(versions))
+        }
+        return bucket_state(store.oss), restores
+    finally:
+        store.close()
+
+
+class TestSerialVsParallelParity:
+    """The parallel engine is a pure wall-clock optimisation: the repository
+    it writes and the bytes it restores must be indistinguishable from the
+    serial path at every worker count, in both execution modes, with and
+    without injected faults."""
+
+    @pytest.mark.parametrize("workers,exec_mode", PARALLEL_MODES)
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_parallel_repository_is_byte_identical(self, seed, workers, exec_mode):
+        workload = _parity_workload(seed)
+        serial_state, serial_restores = _run_slimstore(workload, 0, "thread")
+        parallel_state, parallel_restores = _run_slimstore(
+            workload, workers, exec_mode
+        )
+        assert parallel_restores == serial_restores
+        assert parallel_state == serial_state, (
+            f"workers={workers} mode={exec_mode}: repository bytes diverged"
+        )
+        for path, versions in workload.items():
+            for version, data in enumerate(versions):
+                assert serial_restores[(path, version)] == data
+
+    @pytest.mark.parametrize("workers,exec_mode", [(4, "thread"), (2, "process")])
+    @pytest.mark.parametrize(
+        "rates",
+        [
+            dict(get_error_rate=0.05, put_error_rate=0.05),
+            dict(put_error_rate=0.03, torn_write_rate=0.05),
+        ],
+        ids=["transient-errors", "torn-writes"],
+    )
+    def test_parallel_parity_under_chaos(self, workers, exec_mode, rates):
+        """Same fault seed, serial vs parallel: the engine gates concurrent
+        IO off whenever a fault policy is installed, so the seeded fault
+        draws land on the same operations in the same order and the two
+        repositories stay byte-identical."""
+        workload = _parity_workload(303)
+        serial_state, serial_restores = _run_slimstore(
+            workload, 0, "thread", chaos_seed=4040, **rates
+        )
+        parallel_state, parallel_restores = _run_slimstore(
+            workload, workers, exec_mode, chaos_seed=4040, **rates
+        )
+        assert parallel_restores == serial_restores
+        assert parallel_state == serial_state, (
+            f"workers={workers} mode={exec_mode}: chaos run diverged from serial"
+        )
+        for path, versions in workload.items():
+            for version, data in enumerate(versions):
+                assert serial_restores[(path, version)] == data
+
+    @pytest.mark.parametrize("workers,exec_mode", [(2, "thread")])
+    def test_parallel_blake2b_repository_is_byte_identical(self, workers, exec_mode):
+        """Fingerprint algorithm and worker count compose: a blake2b repo
+        built in parallel equals a blake2b repo built serially."""
+        workload = _parity_workload(404)
+        base = SMALL_CONFIG.with_overrides(fingerprint_algo="blake2b")
+        serial = SlimStore(base.with_overrides(workers=0))
+        parallel = SlimStore(
+            base.with_overrides(workers=workers, exec_mode=exec_mode)
+        )
+        try:
+            for store in (serial, parallel):
+                for path, versions in workload.items():
+                    for data in versions:
+                        store.backup(path, data)
+            assert bucket_state(parallel.oss) == bucket_state(serial.oss)
+            for path, versions in workload.items():
+                for version, data in enumerate(versions):
+                    assert parallel.restore(path, version).data == data
+        finally:
+            serial.close()
+            parallel.close()

@@ -223,3 +223,92 @@ class TestTraceCommand:
                 "--generator", "maillog", "--seed", "3", "--versions", "2",
             ]) == 0
         assert first.read_bytes() == second.read_bytes()
+
+
+class TestExecutionSettings:
+    """``--workers`` and ``--fingerprint`` persistence in ``repro.json``."""
+
+    def _seed_repo(self, tmp_path, rng, extra_args=()):
+        payload = random_bytes(rng, 64 * 1024)
+        source = tmp_path / "accounts.tbl"
+        source.write_bytes(payload)
+        repo = tmp_path / "repo"
+        assert main(["backup", str(repo), str(source), *extra_args]) == 0
+        return repo, source, payload
+
+    def test_workers_persist_and_apply_on_reopen(self, tmp_path, rng):
+        import json
+
+        repo, source, payload = self._seed_repo(
+            tmp_path, rng, ["--workers", "2"]
+        )
+        settings = json.loads((repo / "repro.json").read_text())
+        assert settings["workers"] == 2
+
+        # Reopen without the flag: the pinned count drives the executor.
+        store = open_repository(repo)
+        try:
+            assert store.config.workers == 2
+            assert store.executor is not None
+            assert store.restore(str(source), 0).data == payload
+        finally:
+            store.close()
+
+    def test_workers_mismatch_repins_instead_of_refusing(self, tmp_path, rng):
+        import json
+
+        repo, source, payload = self._seed_repo(
+            tmp_path, rng, ["--workers", "4"]
+        )
+        out = tmp_path / "restored.tbl"
+        assert main([
+            "restore", str(repo), str(source),
+            "--output", str(out), "--workers", "0",
+        ]) == 0
+        assert out.read_bytes() == payload
+        settings = json.loads((repo / "repro.json").read_text())
+        assert settings["workers"] == 0
+
+    def test_parallel_and_serial_backups_restore_identically(self, tmp_path, rng):
+        payload = random_bytes(rng, 96 * 1024)
+        source = tmp_path / "report.doc"
+        source.write_bytes(payload)
+        for name, args in (("serial", []), ("parallel", ["--workers", "2"])):
+            repo = tmp_path / name
+            assert main(["backup", str(repo), str(source), *args]) == 0
+            out = tmp_path / f"{name}.out"
+            assert main([
+                "restore", str(repo), str(source), "--output", str(out)
+            ]) == 0
+            assert out.read_bytes() == payload
+
+    def test_fingerprint_attach_guard_refuses_mismatch(self, tmp_path, rng, capsys):
+        repo, source, _ = self._seed_repo(
+            tmp_path, rng, ["--fingerprint", "blake2b"]
+        )
+        assert main([
+            "backup", str(repo), str(source), "--fingerprint", "sha1",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "fingerprints chunks with blake2b" in err
+
+    def test_legacy_repository_pins_sha1(self, tmp_path, rng):
+        import json
+
+        # A repo created before the setting existed: data, no record.
+        repo, source, payload = self._seed_repo(tmp_path, rng)
+        settings = json.loads((repo / "repro.json").read_text())
+        settings.pop("fingerprint_algo")
+        (repo / "repro.json").write_text(json.dumps(settings))
+
+        with pytest.raises(Exception, match="predates configurable"):
+            open_repository(repo, fingerprint="blake2b")
+
+        store = open_repository(repo)
+        try:
+            assert store.config.fingerprint_algo == "sha1"
+            assert store.restore(str(source), 0).data == payload
+        finally:
+            store.close()
+        settings = json.loads((repo / "repro.json").read_text())
+        assert settings["fingerprint_algo"] == "sha1"
