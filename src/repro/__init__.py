@@ -20,10 +20,12 @@ figure of the paper's evaluation.
 
 from repro.core.config import SlimStoreConfig
 from repro.core.durability import ReplicationPolicy
+from repro.core.service import ServiceControlPlane, ServicePolicy
 from repro.core.system import BackupReport, RestoreReport, SlimStore, SpaceReport
+from repro.core.tenancy import BackupService, RetentionPolicy
 from repro.oss.faults import FaultPolicy
 from repro.oss.object_store import ObjectStorageService
-from repro.oss.retry import RetryPolicy
+from repro.oss.retry import RetryBudget, RetryPolicy
 from repro.sim.cost_model import CostModel
 
 __version__ = "1.0.0"
@@ -38,6 +40,11 @@ __all__ = [
     "FaultPolicy",
     "ReplicationPolicy",
     "RetryPolicy",
+    "RetryBudget",
+    "BackupService",
+    "RetentionPolicy",
+    "ServiceControlPlane",
+    "ServicePolicy",
     "CostModel",
     "__version__",
 ]

@@ -24,6 +24,14 @@ Usage::
     python -m repro trace record OUT --generator NAME [--seed N]
                             [--versions N]
     python -m repro trace replay REPO TRACE [--verify]
+    python -m repro tenant list    REPO
+    python -m repro tenant backup  REPO TENANT FILE [FILE...] [--prefix P]
+    python -m repro tenant restore REPO TENANT PATH [--version N] [--output F]
+    python -m repro tenant retention REPO TENANT [--keep-last N]
+                            [--keep-days D] [--clear]
+    python -m repro tenant apply-retention REPO TENANT
+    python -m repro tenant weight  REPO TENANT [VALUE]
+    python -m repro tenant remove  REPO TENANT
 
 Example::
 
@@ -206,6 +214,39 @@ def open_repository(
     store = SlimStore(config, oss)
     store.recover(run_recovery=run_recovery)
     return store
+
+
+def open_service(repo_dir: str | Path):
+    """Open (or create) a durable multi-tenant service repository.
+
+    A service repository is a directory of per-tenant bucket
+    subdirectories (``tenant-<name>``, ``tenant-<name>-index``); each
+    tenant is attached lazily, running attach-time recovery.
+    """
+    from repro.core.tenancy import BackupService
+
+    root = Path(repo_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    oss = ObjectStorageService(
+        backend_factory=lambda bucket: FilesystemBackend(root / bucket)
+    )
+    return BackupService(oss, SlimStoreConfig())
+
+
+def _service_tenants(repo_dir: str | Path) -> list[str]:
+    """Tenant names found on disk (bucket directories, index ones aside)."""
+    root = Path(repo_dir)
+    if not root.is_dir():
+        return []
+    names = []
+    for entry in root.iterdir():
+        if (
+            entry.is_dir()
+            and entry.name.startswith("tenant-")
+            and not entry.name.endswith("-index")
+        ):
+            names.append(entry.name[len("tenant-"):])
+    return sorted(names)
 
 
 def _cmd_backup(args: argparse.Namespace) -> int:
@@ -562,6 +603,153 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tenant_handler(fn):
+    """Tenant-name validation raises ValueError; print it like an error."""
+
+    def run(args: argparse.Namespace) -> int:
+        try:
+            return fn(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    return run
+
+
+def _cmd_tenant_list(args: argparse.Namespace) -> int:
+    service = open_service(args.repo)
+    names = _service_tenants(args.repo)
+    if not names:
+        print("no tenants")
+        return 0
+    for name in names:
+        service.store_for(name)
+        usage = service.usage(name)
+        meta = service.meta(name)
+        policy = meta.retention
+        if policy is None:
+            retention = "retention: none"
+        else:
+            parts = []
+            if policy.keep_last_n is not None:
+                parts.append(f"last {policy.keep_last_n}")
+            if policy.keep_days is not None:
+                parts.append(f"{policy.keep_days:g} days")
+            retention = f"retention: keep {' + '.join(parts)}"
+        print(
+            f"{name}: {usage.stored_bytes} stored bytes, "
+            f"weight {meta.weight:g}, {retention}"
+        )
+    return 0
+
+
+def _cmd_tenant_backup(args: argparse.Namespace) -> int:
+    import time
+
+    service = open_service(args.repo)
+    for file_name in args.files:
+        source = Path(file_name)
+        if not source.is_file():
+            print(f"error: not a file: {source}", file=sys.stderr)
+            return 2
+        logical_path = f"{args.prefix}{source.name}" if args.prefix else str(source)
+        report = service.backup(
+            args.tenant, logical_path, source.read_bytes(), timestamp=time.time()
+        )
+        result = report.result
+        print(
+            f"{args.tenant}/{logical_path}: v{report.version}, "
+            f"{result.logical_bytes} bytes, dedup {result.dedup_ratio:.1%}"
+        )
+    return 0
+
+
+def _cmd_tenant_restore(args: argparse.Namespace) -> int:
+    service = open_service(args.repo)
+    result = service.restore(args.tenant, args.path, args.version)
+    output = Path(args.output) if args.output else Path(Path(args.path).name)
+    output.write_bytes(result.data)
+    print(
+        f"restored {args.tenant}/{args.path}@v{result.version} -> {output} "
+        f"({len(result.data)} bytes)"
+    )
+    return 0
+
+
+def _cmd_tenant_retention(args: argparse.Namespace) -> int:
+    from repro.core.tenancy import RetentionPolicy
+
+    service = open_service(args.repo)
+    if args.clear:
+        service.set_retention(args.tenant, None)
+        print(f"{args.tenant}: retention policy cleared")
+        return 0
+    if args.keep_last is None and args.keep_days is None:
+        policy = service.meta(args.tenant).retention
+        print(f"{args.tenant}: {policy if policy is not None else 'no policy'}")
+        return 0
+    try:
+        policy = RetentionPolicy(
+            keep_last_n=args.keep_last, keep_days=args.keep_days
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    service.set_retention(args.tenant, policy)
+    print(f"{args.tenant}: retention set to {policy}")
+    return 0
+
+
+def _cmd_tenant_apply_retention(args: argparse.Namespace) -> int:
+    import time
+
+    service = open_service(args.repo)
+    report = service.apply_retention(args.tenant, now=time.time())
+    if not report.deleted:
+        print(f"{args.tenant}: nothing to collect")
+        return 0
+    for path, version in report.deleted:
+        print(f"  deleted {path}@v{version}")
+    print(
+        f"{args.tenant}: {len(report.deleted)} versions collected, "
+        f"{report.reclaimed_bytes} bytes reclaimed"
+    )
+    return 0
+
+
+def _cmd_tenant_weight(args: argparse.Namespace) -> int:
+    service = open_service(args.repo)
+    if args.value is None:
+        print(f"{args.tenant}: weight {service.weight(args.tenant):g}")
+        return 0
+    try:
+        service.set_weight(args.tenant, args.value)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    print(f"{args.tenant}: weight set to {args.value:g}")
+    return 0
+
+
+def _cmd_tenant_remove(args: argparse.Namespace) -> int:
+    service = open_service(args.repo)
+    if args.tenant not in _service_tenants(args.repo):
+        print(f"error: no such tenant: {args.tenant}", file=sys.stderr)
+        return 2
+    reclaimed = service.remove_tenant(args.tenant)
+    root = Path(args.repo)
+    for suffix in ("", "-index"):
+        bucket_dir = root / f"tenant-{args.tenant}{suffix}"
+        if not bucket_dir.is_dir():
+            continue
+        # Every object is gone; only empty key-path directories remain.
+        for sub in sorted(bucket_dir.rglob("*"), reverse=True):
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        if not any(bucket_dir.iterdir()):
+            bucket_dir.rmdir()
+    print(f"{args.tenant}: removed, {reclaimed} bytes reclaimed")
+    return 0
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     store = open_repository(args.repo)
     index = store.storage.global_index
@@ -723,6 +911,66 @@ def build_parser() -> argparse.ArgumentParser:
                               help="restore every replayed backup and check "
                                    "it against the trace checksums")
     trace_replay.set_defaults(handler=_cmd_trace_replay)
+
+    tenant = commands.add_parser(
+        "tenant", help="manage a multi-tenant service repository"
+    )
+    tenant_commands = tenant.add_subparsers(dest="tenant_command", required=True)
+    tenant_list = tenant_commands.add_parser(
+        "list", help="list tenants with usage, weight and retention"
+    )
+    tenant_list.add_argument("repo", help="service repository directory")
+    tenant_list.set_defaults(handler=_tenant_handler(_cmd_tenant_list))
+    tenant_backup = tenant_commands.add_parser(
+        "backup", help="back up files on behalf of a tenant"
+    )
+    tenant_backup.add_argument("repo")
+    tenant_backup.add_argument("tenant", help="tenant name (lowercase)")
+    tenant_backup.add_argument("files", nargs="+", help="files to back up")
+    tenant_backup.add_argument("--prefix", default="", help="logical path prefix")
+    tenant_backup.set_defaults(handler=_tenant_handler(_cmd_tenant_backup))
+    tenant_restore = tenant_commands.add_parser(
+        "restore", help="restore a tenant's backup version"
+    )
+    tenant_restore.add_argument("repo")
+    tenant_restore.add_argument("tenant")
+    tenant_restore.add_argument("path", help="logical path of the backup")
+    tenant_restore.add_argument("--version", type=int, default=None,
+                                help="version number (default: latest)")
+    tenant_restore.add_argument("--output", default=None, help="output file")
+    tenant_restore.set_defaults(handler=_tenant_handler(_cmd_tenant_restore))
+    tenant_retention = tenant_commands.add_parser(
+        "retention", help="show or set a tenant's retention policy"
+    )
+    tenant_retention.add_argument("repo")
+    tenant_retention.add_argument("tenant")
+    tenant_retention.add_argument("--keep-last", type=int, default=None,
+                                  help="protect the newest N versions per path")
+    tenant_retention.add_argument("--keep-days", type=float, default=None,
+                                  help="protect versions younger than D days")
+    tenant_retention.add_argument("--clear", action="store_true",
+                                  help="drop the policy (protect everything)")
+    tenant_retention.set_defaults(handler=_tenant_handler(_cmd_tenant_retention))
+    tenant_apply = tenant_commands.add_parser(
+        "apply-retention", help="collect versions the policy no longer protects"
+    )
+    tenant_apply.add_argument("repo")
+    tenant_apply.add_argument("tenant")
+    tenant_apply.set_defaults(handler=_tenant_handler(_cmd_tenant_apply_retention))
+    tenant_weight = tenant_commands.add_parser(
+        "weight", help="show or set a tenant's fair-share weight"
+    )
+    tenant_weight.add_argument("repo")
+    tenant_weight.add_argument("tenant")
+    tenant_weight.add_argument("value", type=float, nargs="?", default=None,
+                               help="new weight (positive; omit to show)")
+    tenant_weight.set_defaults(handler=_tenant_handler(_cmd_tenant_weight))
+    tenant_remove = tenant_commands.add_parser(
+        "remove", help="remove a tenant account and reclaim its space"
+    )
+    tenant_remove.add_argument("repo")
+    tenant_remove.add_argument("tenant")
+    tenant_remove.set_defaults(handler=_tenant_handler(_cmd_tenant_remove))
     return parser
 
 

@@ -313,8 +313,16 @@ class ClusterSimulator:
         jobs: list[JobSpec],
         crashes: dict[int, float] | None = None,
         recovery_seconds: float | None = None,
+        arrivals: list[float] | None = None,
     ) -> ClusterRunReport:
-        """Dispatch all jobs at time zero; returns the schedule outcome.
+        """Dispatch all jobs; returns the schedule outcome.
+
+        ``arrivals`` gives each job's submission time (e.g. a seeded
+        stream from :func:`repro.sim.arrivals.tenant_arrivals`); without
+        it every job is dispatched at time zero.  Staggered arrivals are
+        what make overload visible as *queueing*: jobs arriving faster
+        than nodes drain them pile up on the slot queues instead of all
+        contending from the start.
 
         ``crashes`` maps job index → fraction of the job's main phase at
         which its node dies.  The partial work is wasted (the commit
@@ -325,6 +333,13 @@ class ClusterSimulator:
         full.  This quantifies what the crash-consistency layer costs at
         cluster scale: a crash adds latency, never inconsistency.
         """
+        if arrivals is not None:
+            if len(arrivals) != len(jobs):
+                raise ValueError(
+                    f"need one arrival per job: {len(arrivals)} != {len(jobs)}"
+                )
+            if any(t < 0 for t in arrivals):
+                raise ValueError("arrival times cannot be negative")
         crashes = dict(crashes or {})
         for index, fraction in crashes.items():
             if not 0 <= index < len(jobs):
@@ -436,7 +451,13 @@ class ClusterSimulator:
 
         # Round-robin placement, as the facade's scheduler does.
         for index, job in enumerate(jobs):
-            dispatch(job, nodes[index % len(nodes)], crashes.get(index))
+            delay = arrivals[index] if arrivals is not None else 0.0
+            loop.schedule(
+                delay,
+                lambda job=job, index=index: dispatch(
+                    job, nodes[index % len(nodes)], crashes.get(index)
+                ),
+            )
 
         report.makespan_seconds = loop.run()
         return report

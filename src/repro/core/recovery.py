@@ -60,6 +60,13 @@ class RecoveryReport:
     replica_orphans_collected: list[str] = field(default_factory=list)
     #: Journal entries dropped by the final truncate.
     journal_truncated: int = 0
+    #: Per interrupted backup intent: ``(path, version, outcome)`` where
+    #: outcome is ``"committed"`` (the catalog put landed before the
+    #: crash, ``version`` is the committed version) or ``"discarded"``
+    #: (``version`` is the in-flight version whose debris was removed).
+    #: Lease takeover uses this to decide whether a dead node's job must
+    #: re-run or merely be marked complete.
+    backup_resolutions: list[tuple[str, int, str]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -373,10 +380,14 @@ class RecoveryManager:
             removed = True
         if removed:
             report.discarded.append((intent.seq, intent.kind))
+            report.backup_resolutions.append((path, next_version, "discarded"))
         else:
             # The catalog put landed and only the intent close is
             # missing: the version is fully committed.
             report.rolled_forward.append((intent.seq, intent.kind))
+            report.backup_resolutions.append(
+                (path, committed[-1] if committed else -1, "committed")
+            )
         # Orphaned containers fall to the watermark GC.
 
     def _handle_snapshot(self, intent: Intent, report: RecoveryReport) -> None:

@@ -17,7 +17,7 @@ from repro.core.recipe import RecipeStore
 from repro.core.similar_index import SimilarFileIndex
 from repro.fingerprint.hashing import Fingerprinter, fingerprint, make_fingerprinter
 from repro.oss.object_store import ObjectStorageService
-from repro.oss.retry import RetryingObjectStore, RetryPolicy
+from repro.oss.retry import RetryBudget, RetryingObjectStore, RetryPolicy
 
 
 class ReadMeter:
@@ -73,6 +73,7 @@ class StorageLayer:
         bloom_capacity: int = 1 << 20,
         use_bloom: bool = True,
         retry_policy: RetryPolicy | None = None,
+        retry_budget: RetryBudget | None = None,
         index_shard_count: int = 1,
         tombstone_grace_epochs: int = 0,
         durability_policy: ReplicationPolicy | None = None,
@@ -82,11 +83,17 @@ class StorageLayer:
 
         With a ``retry_policy``, every component talks to OSS through a
         :class:`~repro.oss.retry.RetryingObjectStore`, so transient OSS
-        failures are absorbed below the dedup/restore engines.  The
-        intent journal shares the main bucket; the container store gets
-        it for journaled in-place rewrites, plus the tombstone grace.
+        failures are absorbed below the dedup/restore engines.  A shared
+        ``retry_budget`` (typically one per fleet) additionally bounds
+        the aggregate retry volume across repositories.  The intent
+        journal shares the main bucket; the container store gets it for
+        journaled in-place rewrites, plus the tombstone grace.
         """
-        endpoint = oss if retry_policy is None else RetryingObjectStore(oss, retry_policy)
+        endpoint = (
+            oss
+            if retry_policy is None
+            else RetryingObjectStore(oss, retry_policy, budget=retry_budget)
+        )
         fingerprinter = make_fingerprinter(fingerprint_algo)
         journal = IntentJournal(endpoint, bucket)
         containers = ContainerStore(

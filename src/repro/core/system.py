@@ -33,7 +33,7 @@ from repro.errors import (
     VersionNotFoundError,
 )
 from repro.oss.object_store import ObjectStorageService
-from repro.oss.retry import RetryPolicy
+from repro.oss.retry import RetryBudget, RetryPolicy
 from repro.sim.cost_model import CostModel
 
 
@@ -266,6 +266,7 @@ class SlimStore:
         cost_model: CostModel | None = None,
         bucket: str = "slimstore",
         retry_policy: RetryPolicy | None = None,
+        retry_budget: RetryBudget | None = None,
     ) -> None:
         self.config = config or SlimStoreConfig()
         self.cost_model = cost_model or CostModel()
@@ -278,6 +279,7 @@ class SlimStore:
             bloom_capacity=self.config.global_bloom_capacity,
             use_bloom=self.config.gdedup_bloom_filter,
             retry_policy=retry_policy,
+            retry_budget=retry_budget,
             index_shard_count=self.config.index_shard_count,
             tombstone_grace_epochs=self.config.tombstone_grace_epochs,
             durability_policy=self.config.durability_policy(),

@@ -53,6 +53,64 @@ class RetryPolicy:
             )
 
 
+class RetryBudget:
+    """A shared token bucket bounding fleet-wide retry amplification.
+
+    When N concurrent jobs all hit the same degraded OSS endpoint, each
+    one's private backoff schedule is individually polite but their
+    *sum* is a retry storm: N× the offered load against a service that is
+    already failing.  A RetryBudget is shared across every
+    :class:`RetryingObjectStore` of a fleet: each retry attempt spends
+    one token, tokens refill at ``refill_per_second`` of virtual time,
+    and once the bucket runs dry further retries fail fast with
+    :class:`~repro.errors.RetryExhaustedError` — pushing callers into
+    degraded mode (which the dedup engine already survives) instead of
+    amplifying the outage.
+    """
+
+    def __init__(self, capacity: float = 64.0, refill_per_second: float = 4.0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        if refill_per_second < 0:
+            raise ValueError(
+                f"refill_per_second cannot be negative: {refill_per_second}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self._tokens = float(capacity)
+        self._last_refill: float | None = None
+        #: Retry attempts denied because the bucket was dry.
+        self.denied = 0
+        #: Retry attempts granted a token.
+        self.granted = 0
+
+    def _refill(self, now: float) -> None:
+        if self._last_refill is None:
+            self._last_refill = now
+            return
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_second
+            )
+            self._last_refill = now
+
+    def available(self, now: float) -> float:
+        """Tokens available at virtual time ``now`` (refills first)."""
+        self._refill(now)
+        return self._tokens
+
+    def try_spend(self, now: float, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; False (and counted) otherwise."""
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+
 class RetryingObjectStore:
     """Retry facade with the ObjectStorageService operation surface.
 
@@ -60,11 +118,22 @@ class RetryingObjectStore:
     bucket management, the ``peek_*`` accounting helpers) delegate to the
     wrapped endpoint, so the storage-layer components can use a
     RetryingObjectStore anywhere they used the raw service.
+
+    With a shared :class:`RetryBudget`, every backoff sleep first spends
+    a budget token; a dry budget turns the retry into an immediate
+    :class:`~repro.errors.RetryExhaustedError` (degraded mode) so that a
+    whole fleet's retries against a failing endpoint stay bounded.
     """
 
-    def __init__(self, oss, policy: RetryPolicy | None = None) -> None:
+    def __init__(
+        self,
+        oss,
+        policy: RetryPolicy | None = None,
+        budget: "RetryBudget | None" = None,
+    ) -> None:
         self._oss = oss
         self.policy = policy or RetryPolicy()
+        self.budget = budget
         self.retry_stats = RetryStats()
         self._rng = random.Random(self.policy.seed)
 
@@ -144,6 +213,12 @@ class RetryingObjectStore:
                     or slept >= policy.backoff_budget_seconds
                 ):
                     self.retry_stats.exhausted_operations += 1
+                    raise RetryExhaustedError(op, attempts, error) from error
+                if self.budget is not None and not self.budget.try_spend(
+                    self._oss.clock.now
+                ):
+                    self.retry_stats.exhausted_operations += 1
+                    self.retry_stats.budget_denied += 1
                     raise RetryExhaustedError(op, attempts, error) from error
                 delay = min(
                     policy.max_delay,

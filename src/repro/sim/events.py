@@ -50,13 +50,29 @@ class EventLoop:
             self._queue, _Event(self.now + delay, next(self._sequence), action)
         )
 
-    def run(self) -> float:
-        """Drain the queue; returns the completion time."""
+    def run(self, until: float | None = None) -> float:
+        """Drain the queue; returns the completion time.
+
+        With ``until``, stop before executing any event scheduled after
+        that time (the event stays queued and ``now`` advances to
+        ``until``), so a caller can interleave inspection or external
+        actions with the schedule — the control-plane horizon pattern.
+        """
         while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = max(self.now, until)
+                return self.now
             event = heapq.heappop(self._queue)
             self.now = event.time
             event.action()
+        if until is not None:
+            self.now = max(self.now, until)
         return self.now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)
 
 
 class SlotResource:

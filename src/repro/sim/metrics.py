@@ -11,6 +11,7 @@ and retry layers, so benchmarks can report availability next to throughput.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -112,6 +113,9 @@ class RetryStats:
     retries: int = 0
     recovered_operations: int = 0
     exhausted_operations: int = 0
+    #: Operations failed early because the shared retry budget was dry
+    #: (counted inside ``exhausted_operations`` as well).
+    budget_denied: int = 0
     backoff_seconds: float = 0.0
 
     def snapshot(self) -> "RetryStats":
@@ -123,6 +127,71 @@ class RetryStats:
         return RetryStats(
             **{name: getattr(self, name) - getattr(earlier, name) for name in vars(self)}
         )
+
+
+@dataclass
+class LatencyStats:
+    """Latency samples with percentile and SLO-attainment views.
+
+    The service control plane records one sample per completed job
+    (arrival to completion, queueing included) and reports p50/p99 next
+    to the fraction of jobs that met their SLO threshold — the
+    service-level mirror of the per-job throughput numbers.
+    """
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (negative samples are errors)."""
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative: {seconds}")
+        self.samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` in [0, 100]; 0.0 with no samples."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of [0, 100]: {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency (0.0 with no samples)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def attainment(self, threshold_seconds: float) -> float:
+        """Fraction of samples at or under ``threshold_seconds``.
+
+        1.0 with no samples: an SLO over zero jobs is vacuously met.
+        """
+        if not self.samples:
+            return 1.0
+        met = sum(1 for s in self.samples if s <= threshold_seconds)
+        return met / len(self.samples)
+
+    def merged_with(self, other: "LatencyStats") -> "LatencyStats":
+        """A new LatencyStats holding both sample sets."""
+        return LatencyStats(samples=self.samples + other.samples)
 
 
 @dataclass

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import SlimStoreConfig
-from repro.core.tenancy import BackupService
+from repro.core.tenancy import BackupService, RetentionPolicy, TENANT_META_KEY
 from repro.oss.backend import FilesystemBackend
 from repro.oss.object_store import ObjectStorageService
 from tests.conftest import random_bytes
@@ -78,7 +78,136 @@ class TestServiceAccounting:
             service.store_for("")
         with pytest.raises(ValueError):
             service.store_for("../escape")
-        assert service.store_for("Team_A-1") is service.store_for("team_a-1")
+
+    def test_mixed_case_names_rejected(self, service, rng):
+        """Regression: mixed-case names used to fold to lowercase after
+        validation, so "Alice" and "alice" silently shared one bucket —
+        a tenant-isolation hole, not a convenience.  They are rejected
+        now, and the lowercase tenant's data stays its own."""
+        service.backup("alice", "f", random_bytes(rng, 32 * 1024))
+        for name in ("Alice", "ALICE", "Team_A-1"):
+            with pytest.raises(ValueError, match="lowercase"):
+                service.store_for(name)
+        assert service.tenants() == ["alice"]
+
+
+DAY = 86400.0
+
+
+class TestRetention:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(keep_last_n=-1)
+        with pytest.raises(ValueError):
+            RetentionPolicy(keep_days=-0.5)
+
+    def test_keep_last_n(self, service, rng):
+        for i in range(5):
+            service.backup("alice", "f", random_bytes(rng, 32 * 1024))
+        service.set_retention("alice", RetentionPolicy(keep_last_n=2))
+        report = service.apply_retention("alice")
+        assert report.deleted == [("f", 0), ("f", 1), ("f", 2)]
+        assert report.reclaimed_bytes > 0
+        assert service.store_for("alice").versions("f") == [3, 4]
+
+    def test_keep_days_uses_timestamps(self, service, rng):
+        for day in range(4):
+            service.backup(
+                "alice", "f", random_bytes(rng, 32 * 1024), timestamp=day * DAY
+            )
+        # At day 3, a 1.5-day window protects versions from days 2 and 3.
+        report = service.apply_retention("alice", now=3 * DAY)
+        assert report.deleted == []  # no policy configured: no-op
+        service.set_retention("alice", RetentionPolicy(keep_days=1.5))
+        report = service.apply_retention("alice", now=3 * DAY)
+        assert report.deleted == [("f", 0), ("f", 1)]
+        assert service.store_for("alice").versions("f") == [2, 3]
+
+    def test_rules_union(self, service, rng):
+        """A version protected by either rule survives."""
+        for day in range(4):
+            service.backup(
+                "alice", "f", random_bytes(rng, 32 * 1024), timestamp=day * DAY
+            )
+        # keep_days protects nothing (all old), keep_last_n saves two.
+        service.set_retention(
+            "alice", RetentionPolicy(keep_last_n=2, keep_days=0.5)
+        )
+        report = service.apply_retention("alice", now=30 * DAY)
+        assert report.deleted == [("f", 0), ("f", 1)]
+
+    def test_missing_timestamps_treated_as_old(self, service, rng):
+        for _ in range(3):
+            service.backup("alice", "f", random_bytes(rng, 32 * 1024))
+        service.set_retention(
+            "alice", RetentionPolicy(keep_last_n=1, keep_days=7.0)
+        )
+        report = service.apply_retention("alice", now=0.0)
+        assert report.deleted == [("f", 0), ("f", 1)]
+
+    def test_retention_survives_reattach(self, tmp_path, rng):
+        def make_service():
+            oss = ObjectStorageService(
+                backend_factory=lambda bucket: FilesystemBackend(tmp_path / bucket)
+            )
+            return BackupService(oss, CONFIG)
+
+        first = make_service()
+        for day in range(3):
+            first.backup(
+                "alice", "f", random_bytes(rng, 32 * 1024), timestamp=day * DAY
+            )
+        first.set_retention("alice", RetentionPolicy(keep_last_n=1))
+        fresh = make_service()
+        assert fresh.meta("alice").retention == RetentionPolicy(keep_last_n=1)
+        assert fresh.meta("alice").backup_times["f"] == {
+            0: 0.0,
+            1: DAY,
+            2: 2 * DAY,
+        }
+        report = fresh.apply_retention("alice")
+        assert report.deleted == [("f", 0), ("f", 1)]
+
+    def test_weight_persisted(self, service):
+        assert service.weight("alice") == 1.0
+        service.set_weight("alice", 3.0)
+        assert service.weight("alice") == 3.0
+        with pytest.raises(ValueError):
+            service.set_weight("alice", 0.0)
+        assert service.oss.peek_keys("tenant-alice", TENANT_META_KEY)
+
+
+class TestRemoveTenant:
+    def test_remove_reclaims_everything(self, service, rng):
+        data = random_bytes(rng, 96 * 1024)
+        service.backup("alice", "f", data)
+        service.backup("alice", "g", random_bytes(rng, 64 * 1024))
+        service.store_for("alice").backup_snapshot(
+            {"s1": random_bytes(rng, 32 * 1024)}
+        )
+        service.set_retention("alice", RetentionPolicy(keep_last_n=1))
+        reclaimed = service.remove_tenant("alice")
+        assert reclaimed > 0
+        assert service.tenants() == []
+        assert service.oss.peek_keys("tenant-alice") == []
+        assert service.oss.peek_keys("tenant-alice-index") == []
+
+    def test_removed_name_reusable_as_fresh_account(self, service, rng):
+        data = random_bytes(rng, 64 * 1024)
+        service.backup("alice", "f", data)
+        service.remove_tenant("alice")
+        report = service.backup("alice", "f", data)
+        assert report.version == 0
+        assert report.dedup_ratio == 0.0  # nothing survived removal
+        assert service.restore("alice", "f").data == data
+
+    def test_other_tenants_untouched(self, service, rng):
+        alice_data = random_bytes(rng, 64 * 1024)
+        bob_data = random_bytes(rng, 64 * 1024)
+        service.backup("alice", "f", alice_data)
+        service.backup("bob", "f", bob_data)
+        service.remove_tenant("alice")
+        assert service.restore("bob", "f").data == bob_data
 
 
 class TestDurableTenancy:

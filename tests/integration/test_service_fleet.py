@@ -1,0 +1,215 @@
+"""Fleet-level kill matrix and overload run for the control plane.
+
+The headline robustness harness for the multi-tenant service.  A seeded
+two-tenant workload is first run fault-free to record the ground truth
+(committed versions and their bytes).  A probe run then counts every
+scheduler decision point and the OSS writes each decision's job performs.
+The matrix replays the identical workload once per decision point with
+the sole L-node killed there — first cleanly (pre-dispatch kill), then
+mid-write at sampled offsets inside the job (early, late, and at the
+commit boundary).  After every run the contract must hold:
+
+* every admitted job completes — resumed or already-committed via the
+  lease takeover after the node's lease expires;
+* nothing is silently dropped: ``admitted + rejections == submitted``;
+* every committed version restores byte-identically to the fault-free
+  run, and no duplicate versions appear (exactly-once commit effect).
+
+A separate overload run drives a seeded Poisson arrival storm past fleet
+capacity and checks the backpressure contract: bounded queues, explicit
+rejections that carry a positive retry-after, and zero silent drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SlimStoreConfig
+from repro.core.service import JobRequest, ServiceControlPlane, ServicePolicy
+from repro.core.tenancy import BackupService
+from repro.oss.faults import FaultPolicy
+from repro.sim.arrivals import tenant_arrivals
+from tests.conftest import mutate, random_bytes
+
+pytestmark = pytest.mark.slow
+
+SEED = 90210
+CONFIG = SlimStoreConfig(container_bytes=64 * 1024, segment_bytes=32 * 1024)
+
+MATRIX_POLICY = ServicePolicy(
+    tenant_queue_limit=100,
+    global_queue_limit=400,
+    min_nodes=1,
+    max_nodes=3,
+    slots_per_node=1,
+    lease_seconds=2.0,
+    scale_up_delay_seconds=0.1,
+    autoscale_cooldown_seconds=0.0,
+    autoscale_high_depth=1.0,
+    maintenance_idle_seconds=0.5,
+)
+
+
+def build_workload() -> list[tuple[float, str, str, bytes]]:
+    """(time, tenant, path, data): two tenants, re-backed-up paths."""
+    rng = np.random.default_rng(SEED)
+    alice_v0 = random_bytes(rng, 48 * 1024)
+    bob_v0 = random_bytes(rng, 48 * 1024)
+    return [
+        (0.0, "alice", "f", alice_v0),
+        (0.2, "bob", "h", bob_v0),
+        (1.1, "alice", "f", mutate(rng, alice_v0, runs=2, run_bytes=4096)),
+        (1.3, "bob", "h", mutate(rng, bob_v0, runs=2, run_bytes=4096)),
+        (2.4, "alice", "g", random_bytes(rng, 48 * 1024)),
+        (2.6, "bob", "k", random_bytes(rng, 48 * 1024)),
+    ]
+
+
+def make_plane(with_faults: bool = False):
+    plane = ServiceControlPlane(BackupService(config=CONFIG), MATRIX_POLICY)
+    faults = None
+    if with_faults:
+        faults = FaultPolicy()
+        plane.service.oss.set_fault_policy(faults)
+    return plane, faults
+
+
+def submit_workload(plane: ServiceControlPlane, workload) -> None:
+    for time, tenant, path, data in workload:
+        plane.submit_at(
+            time, JobRequest(tenant=tenant, kind="backup", path=path, data=data)
+        )
+
+
+def expected_truth(workload) -> dict[tuple[str, str], list[bytes]]:
+    """(tenant, path) -> payload per version, in submission order."""
+    truth: dict[tuple[str, str], list[bytes]] = {}
+    for _, tenant, path, data in workload:
+        truth.setdefault((tenant, path), []).append(data)
+    return truth
+
+
+def assert_matches_truth(plane: ServiceControlPlane, truth) -> None:
+    for (tenant, path), payloads in truth.items():
+        store = plane.service.store_for(tenant)
+        assert store.versions(path) == list(range(len(payloads))), (tenant, path)
+        for version, payload in enumerate(payloads):
+            restored = plane.service.restore(tenant, path, version)
+            assert restored.data == payload, (tenant, path, version)
+
+
+class TestFleetKillMatrix:
+    @pytest.fixture(scope="class")
+    def probe(self):
+        """Fault-free ground truth + per-decision write counts."""
+        workload = build_workload()
+        truth = expected_truth(workload)
+        plane, faults = make_plane(with_faults=True)
+        marks: list[int] = []
+        plane.decision_hook = lambda i, n, job: marks.append(faults.writes_seen)
+        submit_workload(plane, workload)
+        report = plane.run()
+        assert not report.rejections
+        assert report.completed == len(workload)
+        assert report.failed == 0
+        assert report.maintenance_runs > 0  # decisions include G-node work
+        assert_matches_truth(plane, truth)
+        marks.append(faults.writes_seen)
+        writes_per_decision = [b - a for a, b in zip(marks, marks[1:])]
+        return workload, truth, writes_per_decision
+
+    def test_node_killed_at_every_decision_point(self, probe):
+        """Clean kill (no torn write): the job re-queues, a replacement
+        node is scaled in, and the run converges on the same truth."""
+        workload, truth, writes_per_decision = probe
+        for decision in range(len(writes_per_decision)):
+            plane, _ = make_plane()
+
+            def hook(index, node_id, job, decision=decision, plane=plane):
+                if index == decision and plane.alive_nodes():
+                    plane.kill_node(node_id)
+
+            plane.decision_hook = hook
+            submit_workload(plane, workload)
+            report = plane.run()
+            assert not report.rejections, decision
+            assert report.node_deaths, decision
+            assert report.failed == 0, decision
+            assert report.completed == len(workload), decision
+            assert_matches_truth(plane, truth)
+
+    def test_node_crashed_mid_write_at_every_decision_point(self, probe):
+        """Torn kill: the node dies on an OSS write inside the job.  The
+        lease expires, the takeover re-attaches (running recovery) and
+        either resumes the job or finds its commit already landed."""
+        workload, truth, writes_per_decision = probe
+        takeover_kinds: set[str] = set()
+        for decision, writes in enumerate(writes_per_decision):
+            if writes < 1:
+                continue
+            # Early, late, and commit-boundary crash offsets.
+            offsets = sorted({1, max(1, writes - 2), writes - 1})
+            for offset in offsets:
+                plane, faults = make_plane(with_faults=True)
+
+                def hook(index, node_id, job, decision=decision, offset=offset):
+                    if index == decision:
+                        faults.crash_after_writes(offset)
+
+                plane.decision_hook = hook
+                submit_workload(plane, workload)
+                report = plane.run()
+                tag = (decision, offset)
+                assert not report.rejections, tag
+                assert report.failed == 0, tag
+                assert report.completed == len(workload), tag
+                assert_matches_truth(plane, truth)
+                takeover_kinds.update(kind for _, _, kind in report.takeovers)
+        # The matrix must have crossed both sides of the commit: jobs
+        # resumed from scratch AND jobs whose version had already landed.
+        assert takeover_kinds == {"resumed", "already-committed"}
+
+
+class TestOverloadBackpressure:
+    def test_seeded_storm_rejects_explicitly_and_completes_the_rest(self):
+        policy = ServicePolicy(
+            tenant_queue_limit=3,
+            global_queue_limit=6,
+            min_nodes=1,
+            max_nodes=1,
+            slots_per_node=1,
+            maintenance_idle_seconds=1e9,
+        )
+        plane = ServiceControlPlane(BackupService(config=CONFIG), policy)
+        rng = np.random.default_rng(SEED)
+        schedule = tenant_arrivals({"alice": 400.0, "bob": 400.0}, 0.25, seed=SEED)
+        assert len(schedule) > 50  # a genuine storm, well past capacity
+        payloads: dict[int, bytes] = {}
+        jobs: list[JobRequest] = []
+        for index, arrival in enumerate(schedule):
+            data = random_bytes(rng, 32 * 1024)
+            payloads[index] = data
+            job = JobRequest(
+                tenant=arrival.tenant, kind="backup", path=f"f{index}", data=data
+            )
+            jobs.append(job)
+            plane.submit_at(arrival.time, job)
+        report = plane.run()
+        assert report.submitted == len(schedule)
+        assert report.rejections  # the storm overran the bounded queues
+        assert report.admitted + len(report.rejections) == report.submitted
+        assert report.completed == report.admitted  # admitted => finished
+        assert report.failed == 0
+        for rejection in report.rejections:
+            assert rejection.reason in ("tenant-queue-full", "global-queue-full")
+            assert rejection.retry_after > 0
+        # Both tenants were served and measured.
+        summary = report.slo_summary(policy)
+        for tenant in ("alice", "bob"):
+            assert summary[tenant]["backup"]["count"] > 0
+        # Every completed job's payload survives byte-identically.
+        for index, job in enumerate(jobs):
+            if job.status == "completed":
+                restored = plane.service.restore(job.tenant, f"f{index}")
+                assert restored.data == payloads[index]

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ObjectNotFoundError, RetryExhaustedError, TransientOSSError
 from repro.oss.faults import FAULT_OPS, FaultPolicy
 from repro.oss.object_store import ObjectStorageService
-from repro.oss.retry import RetryingObjectStore, RetryPolicy
+from repro.oss.retry import RetryBudget, RetryingObjectStore, RetryPolicy
 from repro.sim.cost_model import CostModel
 
 
@@ -355,6 +355,88 @@ class TestRetryingObjectStore:
         with pytest.raises(ObjectNotFoundError):
             client.get_object("b", "missing")
         assert client.retry_stats.retries == 0
+
+
+class TestRetryBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0)
+        with pytest.raises(ValueError):
+            RetryBudget(refill_per_second=-1.0)
+
+    def test_spend_and_refill(self):
+        budget = RetryBudget(capacity=2.0, refill_per_second=1.0)
+        assert budget.try_spend(0.0)
+        assert budget.try_spend(0.0)
+        assert not budget.try_spend(0.0)  # dry
+        assert budget.denied == 1
+        assert budget.try_spend(1.5)  # 1.5 tokens refilled
+        assert budget.available(1.5) == pytest.approx(0.5)
+        # Refill caps at capacity.
+        assert budget.available(1000.0) == pytest.approx(2.0)
+
+    def test_exhaustion_fails_fast_into_degraded_mode(self):
+        """A dry budget turns the next retry into an immediate
+        RetryExhaustedError instead of a backoff sleep — the degraded-mode
+        signal the dedup engine already survives."""
+        store = make_store(FaultPolicy(get_error_rate=1.0))
+        budget = RetryBudget(capacity=3.0, refill_per_second=0.0)
+        client = RetryingObjectStore(
+            store, RetryPolicy(max_attempts=100), budget=budget
+        )
+        before = store.clock.now
+        with pytest.raises(RetryExhaustedError):
+            client.get_object("b", "k")  # spends all 3 tokens, then denied
+        assert client.retry_stats.retries == 3
+        with pytest.raises(RetryExhaustedError):
+            client.get_object("b", "k")  # budget dry: no retries at all
+        assert client.retry_stats.retries == 3
+        assert client.retry_stats.budget_denied == 2
+        assert client.retry_stats.exhausted_operations == 2
+        assert budget.denied == 2
+        # The denied operation paid only its own request latency, no backoff.
+        assert store.clock.now - before < 3 * 2.0 + 2 * store.cost_model.oss_request_latency
+
+    def test_budget_shared_across_clients(self):
+        """N clients hammering one degraded endpoint drain ONE bucket:
+        aggregate retry volume is bounded by the budget, not N times it."""
+        store = make_store(FaultPolicy(get_error_rate=1.0))
+        budget = RetryBudget(capacity=5.0, refill_per_second=0.0)
+        clients = [
+            RetryingObjectStore(store, RetryPolicy(max_attempts=100, seed=i), budget=budget)
+            for i in range(4)
+        ]
+        for client in clients:
+            with pytest.raises(RetryExhaustedError):
+                client.get_object("b", "k")
+        total_retries = sum(c.retry_stats.retries for c in clients)
+        assert total_retries == 5
+        # Every operation ended on a budget denial (the drainer's last
+        # attempt included), so aggregate retries stayed at the budget.
+        assert sum(c.retry_stats.budget_denied for c in clients) == 4
+
+    def test_refill_uses_virtual_time(self):
+        """Tokens come back as the virtual clock advances, so a budget
+        throttles bursts without permanently disabling retries."""
+        store = make_store(FaultPolicy(seed=7, get_error_rate=0.4))
+        budget = RetryBudget(capacity=2.0, refill_per_second=10.0)
+        client = RetryingObjectStore(
+            store, RetryPolicy(seed=7, base_delay=0.1), budget=budget
+        )
+        store.put_object("b", "k", b"x" * 64)
+        store.set_fault_policy(FaultPolicy(seed=7, get_error_rate=0.4))
+        for _ in range(50):
+            assert client.get_object("b", "k") == b"x" * 64
+        assert client.retry_stats.retries > 0
+        assert client.retry_stats.budget_denied == 0  # refill kept pace
+
+    def test_unbudgeted_client_unchanged(self):
+        store = make_store(FaultPolicy(seed=3, get_error_rate=0.3))
+        client = RetryingObjectStore(store, RetryPolicy(seed=3))
+        for i in range(30):
+            client.put_object("b", f"k{i}", bytes([i]) * 64)
+        assert client.retry_stats.budget_denied == 0
+        assert client.retry_stats.exhausted_operations == 0
 
 
 class TestCrashPoints:

@@ -1,0 +1,134 @@
+"""Seeded arrival processes: determinism, divergence, empirical rates."""
+
+import pytest
+
+from repro.sim.arrivals import (
+    Arrival,
+    DiurnalProfile,
+    PoissonProcess,
+    tenant_arrivals,
+    tenant_seed,
+)
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(-1.0)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(1.0).arrivals(-1.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(base_rate=-1.0, peak_rate=1.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(base_rate=2.0, peak_rate=1.0)  # peak below base
+        with pytest.raises(ValueError):
+            DiurnalProfile(base_rate=0.1, peak_rate=1.0, period_seconds=0.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(base_rate=0.1, peak_rate=1.0, peak_time=1.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(base_rate=0.1, peak_rate=1.0, peak_width=0.0)
+
+
+class TestDeterminism:
+    def test_equal_seeds_replay_identical_streams(self):
+        a = PoissonProcess(0.7, seed=42).arrivals(500.0)
+        b = PoissonProcess(0.7, seed=42).arrivals(500.0)
+        assert a == b
+        assert len(a) > 0
+
+    def test_different_seeds_diverge(self):
+        a = PoissonProcess(0.7, seed=1).arrivals(500.0)
+        b = PoissonProcess(0.7, seed=2).arrivals(500.0)
+        assert a != b
+
+    def test_zero_rate_is_empty(self):
+        assert PoissonProcess(0.0, seed=1).arrivals(1000.0) == []
+
+    def test_arrivals_sorted_within_horizon(self):
+        times = PoissonProcess(2.0, seed=9).arrivals(100.0)
+        assert times == sorted(times)
+        assert all(0.0 <= t < 100.0 for t in times)
+
+
+class TestEmpiricalRate:
+    def test_homogeneous_rate_within_tolerance(self):
+        """Over a long horizon the empirical rate converges on the
+        configured intensity (Poisson: sd/mean ~ 1/sqrt(n), so 5% is a
+        comfortable bound at n ~ 10000)."""
+        rate, horizon = 0.5, 20000.0
+        count = len(PoissonProcess(rate, seed=3).arrivals(horizon))
+        assert count == pytest.approx(rate * horizon, rel=0.05)
+
+    def test_diurnal_peak_concentrates_arrivals(self):
+        profile = DiurnalProfile(
+            base_rate=0.01, peak_rate=1.0, period_seconds=1000.0,
+            peak_time=0.5, peak_width=0.2,
+        )
+        times = PoissonProcess(profile, seed=4).arrivals(20 * 1000.0)
+        in_peak = sum(1 for t in times if 400.0 <= (t % 1000.0) <= 600.0)
+        assert in_peak / len(times) > 0.8
+
+    def test_thinned_rate_within_tolerance(self):
+        """The accepted stream of the thinning sampler has the profile's
+        mean intensity, not the envelope's."""
+        profile = DiurnalProfile(
+            base_rate=0.2, peak_rate=1.0, period_seconds=1000.0
+        )
+        horizon = 40_000.0
+        expected = sum(profile.rate(t + 0.5) for t in range(int(horizon)))
+        count = len(PoissonProcess(profile, seed=5).arrivals(horizon))
+        assert count == pytest.approx(expected, rel=0.05)
+
+
+class TestDiurnalProfile:
+    def test_rate_peaks_at_centre(self):
+        profile = DiurnalProfile(base_rate=0.1, peak_rate=2.0)
+        assert profile.rate(0.5 * 86400.0) == pytest.approx(2.0)
+        assert profile.rate(0.0) == pytest.approx(0.1)
+        assert profile.max_rate == 2.0
+
+    def test_profile_is_circular(self):
+        """A bump centred at the period boundary wraps around."""
+        profile = DiurnalProfile(
+            base_rate=0.1, peak_rate=2.0, period_seconds=100.0,
+            peak_time=0.0, peak_width=0.2,
+        )
+        assert profile.rate(0.0) == pytest.approx(2.0)
+        assert profile.rate(95.0) == pytest.approx(profile.rate(5.0))
+        assert profile.rate(50.0) == pytest.approx(0.1)
+
+
+class TestTenantArrivals:
+    def test_merged_schedule_sorted_and_tagged(self):
+        schedule = tenant_arrivals({"alice": 0.2, "bob": 0.5}, 500.0, seed=1)
+        assert all(isinstance(a, Arrival) for a in schedule)
+        assert [a.time for a in schedule] == sorted(a.time for a in schedule)
+        assert {a.tenant for a in schedule} == {"alice", "bob"}
+
+    def test_adding_a_tenant_never_perturbs_the_others(self):
+        """Each tenant's sub-stream is seeded from (seed, tenant) only."""
+        two = tenant_arrivals({"alice": 0.3, "bob": 0.3}, 500.0, seed=7)
+        three = tenant_arrivals(
+            {"alice": 0.3, "bob": 0.3, "carol": 0.3}, 500.0, seed=7
+        )
+        assert [a for a in three if a.tenant != "carol"] == two
+
+    def test_distinct_tenants_get_distinct_streams(self):
+        schedule = tenant_arrivals({"alice": 0.5, "bob": 0.5}, 500.0, seed=1)
+        alice = [a.time for a in schedule if a.tenant == "alice"]
+        bob = [a.time for a in schedule if a.tenant == "bob"]
+        assert alice != bob
+        assert tenant_seed(1, "alice") != tenant_seed(1, "bob")
+
+    def test_per_tenant_profiles(self):
+        profile = DiurnalProfile(
+            base_rate=0.0, peak_rate=1.0, period_seconds=100.0
+        )
+        schedule = tenant_arrivals({"alice": profile, "bob": 0.1}, 1000.0, seed=2)
+        alice = [a.time % 100.0 for a in schedule if a.tenant == "alice"]
+        assert alice  # bursts exist
+        assert all(25.0 < phase < 75.0 for phase in alice)  # only in-peak

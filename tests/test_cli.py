@@ -312,3 +312,65 @@ class TestExecutionSettings:
             store.close()
         settings = json.loads((repo / "repro.json").read_text())
         assert settings["fingerprint_algo"] == "sha1"
+
+
+class TestTenantCommands:
+    def test_multi_tenant_lifecycle(self, tmp_path, rng, capsys):
+        repo = tmp_path / "svc"
+        alice_file = tmp_path / "a.tbl"
+        bob_file = tmp_path / "b.tbl"
+        alice_payload = random_bytes(rng, 48 * 1024)
+        alice_file.write_bytes(alice_payload)
+        bob_file.write_bytes(random_bytes(rng, 48 * 1024))
+
+        assert main(["tenant", "backup", str(repo), "alice", str(alice_file),
+                     "--prefix", "db/"]) == 0
+        assert main(["tenant", "backup", str(repo), "bob", str(bob_file),
+                     "--prefix", "db/"]) == 0
+        capsys.readouterr()
+
+        assert main(["tenant", "list", str(repo)]) == 0
+        listing = capsys.readouterr().out
+        assert "alice:" in listing and "bob:" in listing
+
+        out = tmp_path / "restored.tbl"
+        assert main(["tenant", "restore", str(repo), "alice", "db/a.tbl",
+                     "--output", str(out)]) == 0
+        assert out.read_bytes() == alice_payload
+
+        assert main(["tenant", "weight", str(repo), "alice", "2.5"]) == 0
+        assert main(["tenant", "weight", str(repo), "alice"]) == 0
+        assert "2.5" in capsys.readouterr().out
+
+        assert main(["tenant", "remove", str(repo), "bob"]) == 0
+        capsys.readouterr()
+        assert main(["tenant", "list", str(repo)]) == 0
+        listing = capsys.readouterr().out
+        assert "bob" not in listing and "alice:" in listing
+
+    def test_retention_collects_old_versions(self, tmp_path, rng, capsys):
+        repo = tmp_path / "svc"
+        source = tmp_path / "a.tbl"
+        for _ in range(4):
+            source.write_bytes(random_bytes(rng, 32 * 1024))
+            assert main(["tenant", "backup", str(repo), "alice",
+                         str(source), "--prefix", "db/"]) == 0
+        capsys.readouterr()
+
+        assert main(["tenant", "retention", str(repo), "alice",
+                     "--keep-last", "2"]) == 0
+        assert main(["tenant", "apply-retention", str(repo), "alice"]) == 0
+        out = capsys.readouterr().out
+        assert "deleted db/a.tbl@v0" in out
+        assert "2 versions collected" in out
+
+        # The survivors are still restorable after the collection.
+        assert main(["tenant", "restore", str(repo), "alice", "db/a.tbl",
+                     "--output", str(tmp_path / "out.tbl")]) == 0
+
+    def test_mixed_case_tenant_is_a_clean_error(self, tmp_path, rng, capsys):
+        repo = tmp_path / "svc"
+        source = tmp_path / "a.tbl"
+        source.write_bytes(random_bytes(rng, 16 * 1024))
+        assert main(["tenant", "backup", str(repo), "Alice", str(source)]) == 2
+        assert "lowercase" in capsys.readouterr().err
