@@ -1,0 +1,175 @@
+"""Browse bench: random-access reads vs restoring the whole version.
+
+The point of the L-node block cache is that *touching a few bytes of a
+backup should not cost a whole-version restore*.  This bench opens an
+aged multi-version file and issues seeded random ranged reads three
+ways —
+
+* ``restore``  — the baseline: materialise the whole version, then slice;
+* ``cold``     — browse reads against an empty cache (ranged GETs,
+  readahead, plan-time redirects);
+* ``warm``     — the same reads again, served from the cache
+
+— and records per-read virtual latency, OSS GET counts, and read
+amplification (OSS bytes transferred / bytes returned).  The cold path
+must amplify strictly below the whole-version baseline, and the warm
+path must issue **zero** OSS GETs (amplification ~ 0).  Results land in
+``BENCH_browse.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import SlimStore, SlimStoreConfig
+from repro.bench.reporting import format_table
+from repro.core.browse import BrowseSession
+from tests.conftest import make_version_chain
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SEED = 2021
+FILE_BYTES = 1024 * 1024
+VERSIONS = 6
+READS = 8
+READ_BYTES = 4 * 1024
+
+CONFIG = SlimStoreConfig(
+    container_bytes=64 * 1024,
+    segment_bytes=32 * 1024,
+    min_superchunk_bytes=16 * 1024,
+    max_superchunk_bytes=32 * 1024,
+    merge_threshold=3,
+    browse_block_bytes=16 * 1024,
+    browse_cache_memory_bytes=128 * 1024,
+    browse_cache_disk_bytes=256 * 1024,
+    browse_readahead_blocks=1,
+)
+
+
+def build_store() -> tuple[SlimStore, list[bytes]]:
+    rng = np.random.default_rng(SEED)
+    store = SlimStore(CONFIG)
+    payloads = make_version_chain(rng, versions=VERSIONS, size=FILE_BYTES)
+    for payload in payloads:
+        store.backup("vol/f.bin", payload)
+    return store, payloads
+
+
+def sample_offsets(size: int) -> list[int]:
+    rng = np.random.default_rng(SEED + 1)
+    return sorted(
+        int(offset) for offset in rng.integers(0, size - READ_BYTES, READS)
+    )
+
+
+def measure_reads(store: SlimStore, session: BrowseSession,
+                  offsets: list[int], version: int) -> dict:
+    """Latency/traffic profile of one pass over the sampled offsets."""
+    handle = session.open("vol/f.bin", version)
+    stats = store.oss.stats
+    latencies: list[float] = []
+    gets_before = stats.get_requests
+    bytes_before = stats.bytes_read
+    returned = 0
+    for offset in offsets:
+        before = stats.read_seconds
+        data = handle.read(offset, READ_BYTES)
+        latencies.append(stats.read_seconds - before)
+        returned += len(data)
+    oss_bytes = stats.bytes_read - bytes_before
+    return {
+        "reads": len(offsets),
+        "oss_gets": stats.get_requests - gets_before,
+        "oss_bytes_read": oss_bytes,
+        "bytes_returned": returned,
+        "amplification": oss_bytes / returned,
+        "mean_latency_ms": float(np.mean(latencies)) * 1e3,
+        "p99_latency_ms": float(np.percentile(latencies, 99)) * 1e3,
+    }
+
+
+def test_browse_latency(record):
+    store, payloads = build_store()
+    version = VERSIONS - 1
+    offsets = sample_offsets(len(payloads[version]))
+
+    # Baseline: a whole-version restore serves the same slices.
+    stats = store.oss.stats
+    gets_before, bytes_before, secs_before = (
+        stats.get_requests, stats.bytes_read, stats.read_seconds,
+    )
+    restored = store.restore("vol/f.bin", version).data
+    restore_profile = {
+        "oss_gets": stats.get_requests - gets_before,
+        "oss_bytes_read": stats.bytes_read - bytes_before,
+        "elapsed_ms": (stats.read_seconds - secs_before) * 1e3,
+        "amplification": (stats.bytes_read - bytes_before)
+        / (READS * READ_BYTES),
+    }
+    assert restored == payloads[version]
+
+    session = BrowseSession(store)
+    cold = measure_reads(store, session, offsets, version)
+    warm = measure_reads(store, session, offsets, version)
+
+    # Parity: every browse read returned the restore's bytes (the
+    # differential suite covers this exhaustively; the bench spot-checks).
+    handle = session.open("vol/f.bin", version)
+    for offset in offsets[:4]:
+        assert handle.read(offset, READ_BYTES) == restored[offset:offset + READ_BYTES]
+
+    # The headline claims, asserted so CI catches regressions:
+    # cold random access transfers strictly less than a whole-version
+    # restore, and a warm working set costs zero OSS traffic.
+    assert cold["oss_bytes_read"] < restore_profile["oss_bytes_read"]
+    assert cold["amplification"] < restore_profile["amplification"]
+    assert warm["oss_gets"] == 0
+    assert warm["oss_bytes_read"] == 0
+    assert warm["amplification"] == 0.0
+    assert session.stats.hit_ratio > 0.5
+
+    rows = [
+        ["restore-then-slice", str(restore_profile["oss_gets"]),
+         str(restore_profile["oss_bytes_read"]),
+         f"{restore_profile['amplification']:.2f}",
+         f"{restore_profile['elapsed_ms']:.2f}", "-"],
+        ["browse cold", str(cold["oss_gets"]), str(cold["oss_bytes_read"]),
+         f"{cold['amplification']:.2f}", f"{cold['mean_latency_ms']:.3f}",
+         f"{cold['p99_latency_ms']:.3f}"],
+        ["browse warm", str(warm["oss_gets"]), str(warm["oss_bytes_read"]),
+         f"{warm['amplification']:.2f}", f"{warm['mean_latency_ms']:.3f}",
+         f"{warm['p99_latency_ms']:.3f}"],
+    ]
+    record(
+        "browse_latency",
+        format_table(
+            f"Browse latency: {READS} random {READ_BYTES}-byte reads of an "
+            f"aged {FILE_BYTES >> 10} KiB file",
+            ["mode", "GETs", "OSS bytes", "amp", "mean ms", "p99 ms"],
+            rows,
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_browse.json").write_text(
+        json.dumps(
+            {
+                "seed": SEED,
+                "file_bytes": FILE_BYTES,
+                "versions": VERSIONS,
+                "read_bytes": READ_BYTES,
+                "reads": READS,
+                "block_bytes": CONFIG.browse_block_bytes,
+                "readahead_blocks": CONFIG.browse_readahead_blocks,
+                "restore_baseline": restore_profile,
+                "cold": cold,
+                "warm": warm,
+                "cache": session.stats.as_dict(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -18,8 +18,11 @@ comparators (SiLO, Sparse Indexing, HAR, restore caches, restic model),
 figure of the paper's evaluation.
 """
 
+from repro.core.blockcache import BlockCache
+from repro.core.browse import BrowseSession
 from repro.core.config import SlimStoreConfig
 from repro.core.durability import ReplicationPolicy
+from repro.oss.ossfs import BrowseFileSystem, OssFileSystem
 from repro.core.service import ServiceControlPlane, ServicePolicy
 from repro.core.system import BackupReport, RestoreReport, SlimStore, SpaceReport
 from repro.core.tenancy import BackupService, RetentionPolicy
@@ -46,5 +49,9 @@ __all__ = [
     "ServiceControlPlane",
     "ServicePolicy",
     "CostModel",
+    "BlockCache",
+    "BrowseSession",
+    "BrowseFileSystem",
+    "OssFileSystem",
     "__version__",
 ]

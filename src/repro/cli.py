@@ -17,6 +17,13 @@ Usage::
     python -m repro index   REPO
     python -m repro scrub   REPO [--repair]
     python -m repro fsck    REPO [--repair]
+    python -m repro browse cat   REPO PATH [--version N] [--output F]
+    python -m repro browse read  REPO PATH OFFSET LENGTH [--version N]
+                            [--output F]
+    python -m repro browse write REPO PATH OFFSET FILE [--no-flush]
+    python -m repro browse flush REPO [PATH]
+    python -m repro browse stat  REPO PATH [--version N]
+    python -m repro browse stats REPO [PATH] [--version N]
     python -m repro durability REPO [--enable|--disable|--retier]
                             [--replicas N] [--hot-refs N] [--cold-refs N]
                             [--data-shards K] [--parity-shards M]
@@ -395,13 +402,19 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     for cid, key in report.durability_divergent:
         where = f"container {cid}" if cid is not None else "parity"
         print(f"  DIVERGENT copy {key} ({where})", file=sys.stderr)
+    for seq in report.stale_cache_intents:
+        print(f"  STALE cache_flush intent #{seq}", file=sys.stderr)
+    for key in report.cache_debris:
+        print(f"  CACHE DEBRIS {key}", file=sys.stderr)
     print(
         f"journal: {len(report.open_intents)} open intents; "
         f"containers: {len(report.torn_pairs)} torn, "
         f"{len(report.orphan_candidates)} orphaned, "
         f"{len(report.partial_reaps)} partial reaps, "
         f"{len(report.tombstoned)} in tombstone grace; "
-        f"index: {report.dangling_index_entries} dangling entries"
+        f"index: {report.dangling_index_entries} dangling entries; "
+        f"browse cache: {len(report.stale_cache_intents)} stale flushes, "
+        f"{len(report.cache_debris)} debris objects"
     )
     if store.storage.durability is not None:
         print(
@@ -424,7 +437,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         f"{len(recovery.torn_collected)} torn pairs collected, "
         f"{len(recovery.reaps_finished)} reaps finished, "
         f"{recovery.index_entries_fixed} index entries fixed, "
-        f"{len(recovery.replica_orphans_collected)} replica orphans swept"
+        f"{len(recovery.replica_orphans_collected)} replica orphans swept, "
+        f"{len(recovery.cache_staging_reaped)} cache staging objects reaped"
     )
     durability = store.storage.durability
     if durability is not None and (
@@ -775,6 +789,107 @@ def _cmd_space(args: argparse.Namespace) -> int:
     return 0
 
 
+def _browse_session(args: argparse.Namespace):
+    """Open the repository and wrap it in a browse session."""
+    from repro.core.browse import BrowseSession
+
+    store = open_repository(args.repo)
+    return BrowseSession(store)
+
+
+def _emit_bytes(data: bytes, output: str | None) -> None:
+    """Write payload bytes to a file or to raw stdout."""
+    if output:
+        Path(output).write_bytes(data)
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
+
+
+def _cmd_browse_cat(args: argparse.Namespace) -> int:
+    session = _browse_session(args)
+    handle = session.open(args.path, args.version)
+    data = handle.read(0, handle.size)
+    _emit_bytes(data, args.output)
+    print(session.stats_line(), file=sys.stderr)
+    return 0
+
+
+def _cmd_browse_read(args: argparse.Namespace) -> int:
+    session = _browse_session(args)
+    handle = session.open(args.path, args.version)
+    if args.offset > handle.size:
+        print(
+            f"error: offset {args.offset} past EOF of {args.path} "
+            f"({handle.size} bytes)",
+            file=sys.stderr,
+        )
+        return 1
+    data = handle.read(args.offset, args.length)
+    _emit_bytes(data, args.output)
+    print(session.stats_line(), file=sys.stderr)
+    return 0
+
+
+def _cmd_browse_write(args: argparse.Namespace) -> int:
+    session = _browse_session(args)
+    data = Path(args.input).read_bytes()
+    handle = session.open(args.path, None)
+    written = handle.write(args.offset, data)
+    if args.no_flush:
+        print(
+            f"{args.path}: {written} bytes written back at offset "
+            f"{args.offset} (uncommitted; run browse flush)"
+        )
+    else:
+        report = handle.flush()
+        print(
+            f"{args.path}: {written} bytes written, committed as "
+            f"v{report.version} ({report.blocks_written} dirty blocks, "
+            f"{report.staged_bytes} staged bytes)"
+        )
+    print(session.stats_line(), file=sys.stderr)
+    return 0
+
+
+def _cmd_browse_flush(args: argparse.Namespace) -> int:
+    session = _browse_session(args)
+    reports = session.flush(args.path)
+    if not reports:
+        print("nothing dirty")
+    for report in reports:
+        print(
+            f"{report.path}: committed v{report.version} "
+            f"(base v{report.base_version}, {report.blocks_written} dirty "
+            f"blocks, {report.staged_bytes} staged bytes)"
+        )
+    print(session.stats_line(), file=sys.stderr)
+    return 0
+
+
+def _cmd_browse_stat(args: argparse.Namespace) -> int:
+    session = _browse_session(args)
+    stat = session.open(args.path, args.version).stat()
+    print(f"path:          {stat.path}")
+    print(f"version:       {stat.version}")
+    print(f"size:          {stat.size} bytes")
+    print(f"block size:    {stat.block_bytes} bytes")
+    print(f"chunk records: {stat.chunk_records}")
+    print(f"dirty blocks:  {stat.dirty_blocks}")
+    print(f"dirty:         {'yes' if stat.dirty else 'no'}")
+    print(session.stats_line(), file=sys.stderr)
+    return 0
+
+
+def _cmd_browse_stats(args: argparse.Namespace) -> int:
+    session = _browse_session(args)
+    if args.path:
+        handle = session.open(args.path, args.version)
+        handle.read(0, handle.size)
+    print(session.stats_line())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -911,6 +1026,69 @@ def build_parser() -> argparse.ArgumentParser:
                               help="restore every replayed backup and check "
                                    "it against the trace checksums")
     trace_replay.set_defaults(handler=_cmd_trace_replay)
+
+    browse = commands.add_parser(
+        "browse", help="random-access reads/writes on backup versions "
+                       "through the L-node block cache"
+    )
+    browse_commands = browse.add_subparsers(dest="browse_command", required=True)
+    browse_cat = browse_commands.add_parser(
+        "cat", help="read a whole file at some version"
+    )
+    browse_cat.add_argument("repo", help="repository directory")
+    browse_cat.add_argument("path", help="logical path of the backup")
+    browse_cat.add_argument("--version", type=int, default=None,
+                            help="version number (default: latest)")
+    browse_cat.add_argument("--output", default=None,
+                            help="output file (default: raw stdout)")
+    browse_cat.set_defaults(handler=_cmd_browse_cat)
+    browse_read = browse_commands.add_parser(
+        "read", help="read a byte range without restoring the whole version"
+    )
+    browse_read.add_argument("repo")
+    browse_read.add_argument("path")
+    browse_read.add_argument("offset", type=int, help="start offset in bytes")
+    browse_read.add_argument("length", type=int, help="bytes to read")
+    browse_read.add_argument("--version", type=int, default=None,
+                             help="version number (default: latest)")
+    browse_read.add_argument("--output", default=None,
+                             help="output file (default: raw stdout)")
+    browse_read.set_defaults(handler=_cmd_browse_read)
+    browse_write = browse_commands.add_parser(
+        "write", help="write a byte range back and commit a new version"
+    )
+    browse_write.add_argument("repo")
+    browse_write.add_argument("path")
+    browse_write.add_argument("offset", type=int, help="start offset in bytes")
+    browse_write.add_argument("input", help="file holding the bytes to write")
+    browse_write.add_argument("--no-flush", action="store_true",
+                              help="leave the write dirty in cache "
+                                   "(no commit; for scripted sessions)")
+    browse_write.set_defaults(handler=_cmd_browse_write)
+    browse_flush = browse_commands.add_parser(
+        "flush", help="commit dirtied files as new versions"
+    )
+    browse_flush.add_argument("repo")
+    browse_flush.add_argument("path", nargs="?", default=None,
+                              help="flush only this path (default: all dirty)")
+    browse_flush.set_defaults(handler=_cmd_browse_flush)
+    browse_stat = browse_commands.add_parser(
+        "stat", help="show size/version/dirtiness of one file"
+    )
+    browse_stat.add_argument("repo")
+    browse_stat.add_argument("path")
+    browse_stat.add_argument("--version", type=int, default=None,
+                             help="version number (default: latest)")
+    browse_stat.set_defaults(handler=_cmd_browse_stat)
+    browse_stats = browse_commands.add_parser(
+        "stats", help="print the block-cache counters line"
+    )
+    browse_stats.add_argument("repo")
+    browse_stats.add_argument("path", nargs="?", default=None,
+                              help="warm the cache with one full read first")
+    browse_stats.add_argument("--version", type=int, default=None,
+                              help="version number (default: latest)")
+    browse_stats.set_defaults(handler=_cmd_browse_stats)
 
     tenant = commands.add_parser(
         "tenant", help="manage a multi-tenant service repository"

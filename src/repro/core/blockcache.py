@@ -1,0 +1,252 @@
+"""The L-node write-back block cache behind browse sessions.
+
+Browsing a backup — open one file at one version, read a byte range,
+maybe edit and re-save — has none of the full-vision structure the
+restore cache exploits, so this cache is the classic s3ql arrangement
+instead: fixed-size blocks keyed by ``(path, version, block index)``,
+a bounded **memory tier** over a larger **disk tier** (the L-node's
+local scratch), LRU in both, and **write-back** semantics — a write
+dirties the block in cache and is acknowledged immediately; the bytes
+reach OSS later, when a flush stages them under a journaled
+``cache_flush`` intent (see :mod:`repro.core.browse`).
+
+Two invariants make write-back safe:
+
+* **Dirty blocks are pinned.**  Eviction under pressure may demote a
+  dirty block from memory to disk, but never drops it; when every
+  resident block is dirty and both tiers are full the cache refuses the
+  insert with :class:`~repro.errors.CacheFullError` instead of losing an
+  acknowledged write.
+* **Clean blocks evict in LRU order.**  Victims are taken from the cold
+  end of each tier, skipping pinned dirty blocks, so the hot browse set
+  stays resident.
+
+All counters land in :class:`~repro.sim.metrics.BlockCacheStats` so the
+bench can report hit ratios next to latencies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import CacheFullError
+from repro.sim.metrics import BlockCacheStats
+
+#: Cache key: (logical file path, catalog version, block index).
+BlockKey = tuple[str, int, int]
+
+
+class BlockCache:
+    """Two-tier LRU block cache with dirty-block pinning."""
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        disk_bytes: int,
+        stats: BlockCacheStats | None = None,
+    ) -> None:
+        if memory_bytes < 1:
+            raise ValueError(f"memory tier needs at least one byte: {memory_bytes}")
+        if disk_bytes < 0:
+            raise ValueError(f"disk tier cannot be negative: {disk_bytes}")
+        self.memory_capacity = memory_bytes
+        self.disk_capacity = disk_bytes
+        self.stats = stats or BlockCacheStats()
+        # OrderedDicts keep LRU order: oldest (coldest) entry first.
+        self._memory: OrderedDict[BlockKey, bytes] = OrderedDict()
+        self._disk: OrderedDict[BlockKey, bytes] = OrderedDict()
+        self._dirty: set[BlockKey] = set()
+        self._memory_used = 0
+        self._disk_used = 0
+
+    # --- introspection -----------------------------------------------------
+    @property
+    def memory_used(self) -> int:
+        """Bytes resident in the memory tier."""
+        return self._memory_used
+
+    @property
+    def disk_used(self) -> int:
+        """Bytes resident in the disk tier."""
+        return self._disk_used
+
+    def resident_keys(self) -> set[BlockKey]:
+        """Keys currently held in either tier."""
+        return set(self._memory) | set(self._disk)
+
+    def contains(self, key: BlockKey) -> bool:
+        """Residency probe; touches no LRU state and no counters."""
+        return key in self._memory or key in self._disk
+
+    def is_dirty(self, key: BlockKey) -> bool:
+        """True if the block holds un-uploaded writes."""
+        return key in self._dirty
+
+    def dirty_keys(self) -> list[BlockKey]:
+        """Every dirty key, sorted for deterministic flush order."""
+        return sorted(self._dirty)
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Total size of un-uploaded dirty blocks."""
+        return sum(len(self._block_data(key)) for key in self._dirty)
+
+    def _block_data(self, key: BlockKey) -> bytes:
+        data = self._memory.get(key)
+        if data is None:
+            data = self._disk[key]
+        return data
+
+    # --- lookups -----------------------------------------------------------
+    def get(self, key: BlockKey) -> bytes | None:
+        """The block's bytes, or None on a miss (counted).
+
+        A disk-tier hit promotes the block back to memory when room can
+        be made without dropping dirty data; otherwise it is served from
+        disk in place — a read never fails on cache pressure.
+        """
+        data = self._memory.get(key)
+        if data is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return data
+        data = self._disk.get(key)
+        if data is not None:
+            self.stats.disk_hits += 1
+            # Making memory room can demote blocks *into* the disk tier,
+            # whose own eviction may claim this very (clean) block — so
+            # re-check residency after the dust settles.
+            if self._make_memory_room(len(data)):
+                if key in self._disk:
+                    del self._disk[key]
+                    self._disk_used -= len(data)
+                self._memory[key] = data
+                self._memory_used += len(data)
+            elif key in self._disk:
+                self._disk.move_to_end(key)
+            return data
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: BlockKey) -> bytes | None:
+        """The block's bytes without touching LRU order or counters."""
+        if key in self._memory:
+            return self._memory[key]
+        return self._disk.get(key)
+
+    # --- inserts -----------------------------------------------------------
+    def put(
+        self, key: BlockKey, data: bytes, dirty: bool = False, readahead: bool = False
+    ) -> None:
+        """Insert or replace a block (most-recently-used position).
+
+        ``dirty`` pins the block until :meth:`mark_clean`; ``readahead``
+        only affects accounting.  Raises :class:`CacheFullError` when
+        room cannot be made without dropping an un-uploaded dirty block.
+        """
+        self.drop(key, forget_dirty=True)
+        if not self._make_memory_room(len(data)):
+            raise CacheFullError(
+                f"block cache full of dirty blocks; flush before caching {key}"
+            )
+        self._memory[key] = data
+        self._memory_used += len(data)
+        if dirty:
+            self._dirty.add(key)
+        if readahead:
+            self.stats.readahead_blocks += 1
+
+    def mark_clean(self, key: BlockKey) -> None:
+        """Unpin a dirty block once its write-back upload committed."""
+        self._dirty.discard(key)
+
+    def rekey(self, old: BlockKey, new: BlockKey) -> None:
+        """Move a block to a new key (same tier, hot end of its LRU).
+
+        A committed write-back publishes the dirtied file as a *new*
+        version; the cached blocks are byte-identical to that version's
+        content, so they stay warm under the new key instead of being
+        refetched.
+        """
+        if old == new or not self.contains(old):
+            return
+        self.drop(new, forget_dirty=True)
+        tier = self._memory if old in self._memory else self._disk
+        tier[new] = tier.pop(old)
+        if old in self._dirty:
+            self._dirty.discard(old)
+            self._dirty.add(new)
+
+    def drop(self, key: BlockKey, forget_dirty: bool = False) -> None:
+        """Remove a block outright (no eviction accounting).
+
+        Refuses to drop a dirty block unless ``forget_dirty`` — only the
+        flush/discard paths, which have already handled the bytes, may
+        forget un-uploaded data.
+        """
+        if key in self._dirty and not forget_dirty:
+            raise CacheFullError(f"refusing to drop un-uploaded dirty block {key}")
+        data = self._memory.pop(key, None)
+        if data is not None:
+            self._memory_used -= len(data)
+        data = self._disk.pop(key, None)
+        if data is not None:
+            self._disk_used -= len(data)
+        self._dirty.discard(key)
+
+    def drop_version(self, path: str, version: int) -> None:
+        """Forget every block of one (path, version); dirty included.
+
+        Used when a browse session discards its uncommitted edits.
+        """
+        for key in list(self._memory) + list(self._disk):
+            if key[0] == path and key[1] == version:
+                self.drop(key, forget_dirty=True)
+
+    # --- eviction ----------------------------------------------------------
+    def _make_memory_room(self, needed: int) -> bool:
+        """Free memory-tier space; False if dirty pinning forbids it."""
+        if needed > self.memory_capacity:
+            return False
+        while self._memory_used + needed > self.memory_capacity:
+            if not self._evict_one_from_memory():
+                return False
+        return True
+
+    def _evict_one_from_memory(self) -> bool:
+        """Demote or drop one memory block, coldest first, dirty pinned."""
+        for key in list(self._memory):
+            data = self._memory[key]
+            if key in self._dirty:
+                # Dirty: may move to disk, never vanish.
+                if not self._make_disk_room(len(data)):
+                    continue
+                self._demote(key, data)
+                return True
+            if self._make_disk_room(len(data)):
+                self._demote(key, data)
+            else:
+                del self._memory[key]
+                self._memory_used -= len(data)
+                self.stats.evictions += 1
+            return True
+        return False
+
+    def _demote(self, key: BlockKey, data: bytes) -> None:
+        del self._memory[key]
+        self._memory_used -= len(data)
+        self._disk[key] = data
+        self._disk_used += len(data)
+        self.stats.demotions += 1
+
+    def _make_disk_room(self, needed: int) -> bool:
+        """Free disk-tier space by evicting cold *clean* blocks."""
+        if needed > self.disk_capacity:
+            return False
+        while self._disk_used + needed > self.disk_capacity:
+            victim = next((key for key in self._disk if key not in self._dirty), None)
+            if victim is None:
+                return False
+            self._disk_used -= len(self._disk.pop(victim))
+            self.stats.evictions += 1
+        return True

@@ -77,6 +77,22 @@ class SlimStoreConfig:
     #: round trip.
     ranged_read_gap_bytes: int = 16 * 1024
 
+    # --- browse (write-back block cache + random-access reads) ------------------
+    #: Fixed block size of the L-node browse cache.  Blocks are the unit
+    #: of caching, dirty tracking and readahead; 64 KiB keeps a block a
+    #: handful of average chunks so a random read touches few extents.
+    browse_block_bytes: int = 64 * 1024
+    #: Memory tier capacity of the browse block cache (bytes).
+    browse_cache_memory_bytes: int = 4 * 1024 * 1024
+    #: Disk tier capacity (L-node local) the memory tier demotes into.
+    browse_cache_disk_bytes: int = 32 * 1024 * 1024
+    #: Concurrent background upload channels a write-back flush stages
+    #: dirty blocks over (modelled on ``sim/events``).
+    browse_upload_channels: int = 4
+    #: Adjacent blocks fetched alongside a missed block (FullVision-style
+    #: readahead over the recipe's extent order).  0 disables readahead.
+    browse_readahead_blocks: int = 2
+
     # --- G-node ------------------------------------------------------------------
     #: Exact (reverse) deduplication offline.
     reverse_dedup: bool = True
@@ -201,6 +217,22 @@ class SlimStoreConfig:
             raise ValueError(
                 f"fingerprint_algo must be one of {list(FINGERPRINT_ALGORITHMS)}: "
                 f"{self.fingerprint_algo!r}"
+            )
+        if self.browse_block_bytes < 1:
+            raise ValueError(f"browse_block_bytes must be >= 1: {self.browse_block_bytes}")
+        if self.browse_cache_memory_bytes < self.browse_block_bytes:
+            raise ValueError("browse_cache_memory_bytes must hold at least one block")
+        if self.browse_cache_disk_bytes < 0:
+            raise ValueError(
+                f"browse_cache_disk_bytes cannot be negative: {self.browse_cache_disk_bytes}"
+            )
+        if self.browse_upload_channels < 1:
+            raise ValueError(
+                f"browse_upload_channels must be >= 1: {self.browse_upload_channels}"
+            )
+        if self.browse_readahead_blocks < 0:
+            raise ValueError(
+                f"browse_readahead_blocks cannot be negative: {self.browse_readahead_blocks}"
             )
         if self.tombstone_grace_epochs < 0:
             raise ValueError(

@@ -34,6 +34,13 @@ Intent kinds and their payloads:
                         replica/parity keys, and for ``tier`` the ``cid``,
                         ``target`` class and payload ``sha``; for
                         ``stripe`` the ``sid``
+``cache_flush``         write-back commit of a dirtied browse file:
+                        ``path``, ``base_version``, ``version`` (the one
+                        being published), ``size``, ``sha`` (SHA-256 of the
+                        full file), ``blocks`` (dirty block indices),
+                        ``block_bytes``; updated with ``staged=True`` once
+                        every dirty block landed under its
+                        ``browsecache/{seq}/`` staging prefix
 ======================  =====================================================
 """
 
@@ -55,6 +62,7 @@ INTENT_KINDS = (
     "delete_version",
     "delete_snapshot",
     "durability",
+    "cache_flush",
 )
 
 

@@ -20,9 +20,11 @@ report of the same evidence, and ``--repair`` runs :meth:`run`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.browse import STAGE_PREFIX, stage_key_seq
 from repro.core.gnode import CompactionReport
 from repro.core.journal import Intent
 from repro.core.snapshot import Snapshot
@@ -58,6 +60,10 @@ class RecoveryReport:
     #: Durability-tier objects (replicas/parity/manifests) nothing
     #: referenced after intents resolved — swept so no replica bytes leak.
     replica_orphans_collected: list[str] = field(default_factory=list)
+    #: Write-back staging objects (``browsecache/``) removed — both the
+    #: staging of resolved ``cache_flush`` intents and stale debris no
+    #: surviving intent explains.
+    cache_staging_reaped: list[str] = field(default_factory=list)
     #: Journal entries dropped by the final truncate.
     journal_truncated: int = 0
     #: Per interrupted backup intent: ``(path, version, outcome)`` where
@@ -79,6 +85,7 @@ class RecoveryReport:
             or self.reaps_finished
             or self.index_entries_fixed
             or self.replica_orphans_collected
+            or self.cache_staging_reaped
         )
 
 
@@ -112,6 +119,14 @@ class FsckReport:
     #: Replica copies or parity shards whose payload hash disagrees with
     #: the committed record — real divergence; ``--repair`` re-tiers.
     durability_divergent: list[tuple[int | None, str]] = field(default_factory=list)
+    #: Write-back staging objects (``browsecache/``) no open
+    #: ``cache_flush`` intent accounts for: dirty-cache debris from a
+    #: crashed browse session; ``--repair`` reaps them.
+    cache_debris: list[str] = field(default_factory=list)
+    #: Open ``cache_flush`` intents (a browse session died mid-flush);
+    #: counted inside ``open_intents`` as well, broken out so ``fsck``
+    #: can say what kind of job was interrupted.
+    stale_cache_intents: list[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -122,6 +137,7 @@ class FsckReport:
             or self.partial_reaps
             or self.orphan_candidates
             or self.durability_divergent
+            or self.cache_debris
         )
 
 
@@ -157,6 +173,16 @@ class RecoveryManager:
             report.durability_untiered = audit.untiered
             report.durability_class_mismatches = audit.class_mismatches
             report.durability_divergent = audit.divergent_copies
+        report.stale_cache_intents = [
+            intent.seq for intent in intents if intent.kind == "cache_flush"
+        ]
+        open_flushes = set(report.stale_cache_intents)
+        for key in sorted(
+            self.storage.oss.peek_keys(self.containers._bucket, STAGE_PREFIX)
+        ):
+            seq = stage_key_seq(key)
+            if seq is None or seq not in open_flushes:
+                report.cache_debris.append(key)
         return report
 
     # --- repair ------------------------------------------------------------
@@ -176,15 +202,20 @@ class RecoveryManager:
             "delete_version": self._handle_delete_version,
             "delete_snapshot": self._handle_delete_snapshot,
             "durability": self._handle_durability,
+            "cache_flush": self._handle_cache_flush,
         }
         # Rewrite intents repair a possibly-torn container *in place*
         # (new data object, old metadata) and every other handler —
         # re-running reverse dedup, walking a compaction back — reads
         # containers assuming data and metadata agree.  So rewrites are
-        # resolved first regardless of sequence order; the remaining
-        # intents replay in the order the crashed process opened them.
+        # resolved first regardless of sequence order.  ``cache_flush``
+        # intents resolve *last*: a flush runs a nested ``backup`` job,
+        # and its roll-forward/discard decision must observe the final
+        # catalog state after that nested intent (and everything else)
+        # has been resolved.  The remaining intents replay in the order
+        # the crashed process opened them.
         for intent in sorted(
-            intents, key=lambda i: (i.kind != "rewrite", i.seq)
+            intents, key=lambda i: (i.kind != "rewrite", i.kind == "cache_flush", i.seq)
         ):
             handler = handlers.get(intent.kind)
             if handler is None:
@@ -205,6 +236,17 @@ class RecoveryManager:
             # by the crash — sweeping it here is the "no orphaned replica
             # bytes" half of the durability tier's crash contract.
             report.replica_orphans_collected = self.storage.durability.collect_orphans()
+        # Any write-back staging object still present is debris: every
+        # resolved ``cache_flush`` intent reaps its own prefix, so what
+        # survives belongs to no intent at all (e.g. a journal entry lost
+        # some other way).  Staged blocks are never referenced by visible
+        # state, so — like never-visible orphan containers — they take
+        # the direct purge path rather than a tombstone grace.
+        for key in sorted(
+            self.storage.oss.peek_keys(self.containers._bucket, STAGE_PREFIX)
+        ):
+            self.storage.oss.delete_object(self.containers._bucket, key)
+            report.cache_staging_reaped.append(key)
         report.journal_truncated = self.journal.truncate()
         if self._catalog_dirty:
             self.store._persist_catalog()
@@ -389,6 +431,86 @@ class RecoveryManager:
                 (path, committed[-1] if committed else -1, "committed")
             )
         # Orphaned containers fall to the watermark GC.
+
+    def _handle_cache_flush(self, intent: Intent, report: RecoveryReport) -> None:
+        """Write-back flush: committed iff its version landed; else the
+        staged blocks decide.
+
+        Runs after every other intent — in particular after the flush's
+        own nested ``backup`` intent discarded any half-written version —
+        so the catalog check observes the final state:
+
+        * the expected version is committed → only the staging cleanup
+          was lost; reap it and roll forward;
+        * ``staged=True`` and the staged blocks reassemble to the
+          journaled SHA-256 → the session had acknowledged the flush's
+          durability point; re-run the ingest from the staged bytes
+          (roll the upload forward), then reap the staging;
+        * anything else → the flush never reached its durability point;
+          discard (reap whatever staging landed).  Either way the
+          intent's staging prefix ends empty.
+        """
+        payload = intent.payload
+        path = str(payload["path"])
+        expected = int(payload["version"])
+        bucket = self.containers._bucket
+        prefix = f"{STAGE_PREFIX}{intent.seq:012d}/"
+        keys = sorted(self.storage.oss.peek_keys(bucket, prefix))
+        outcome = "discarded"
+        if expected in self.store.catalog.versions(path):
+            outcome = "rolled_forward"
+        elif payload.get("staged"):
+            data = self._rebuild_staged_file(payload, keys)
+            if data is not None:
+                self.store.backup(path, data)
+                outcome = "rolled_forward"
+        for key in keys:
+            self.storage.oss.delete_object(bucket, key)
+            report.cache_staging_reaped.append(key)
+        if outcome == "rolled_forward":
+            report.rolled_forward.append((intent.seq, intent.kind))
+        else:
+            report.discarded.append((intent.seq, intent.kind))
+
+    def _rebuild_staged_file(self, payload: dict, keys: list[str]) -> bytes | None:
+        """Reassemble a flushed file from its staged blocks, or None.
+
+        Base content (when the base version still exists) is overlaid
+        with every staged dirty block; the journaled SHA-256 is the
+        arbiter — a torn staging upload or a vanished base version fails
+        the check and the flush is discarded instead of publishing a
+        corrupted version.
+        """
+        indices = {int(i) for i in payload.get("blocks", [])}
+        block_bytes = int(payload["block_bytes"])
+        size = int(payload["size"])
+        staged: dict[int, bytes] = {}
+        for key in keys:
+            try:
+                index = int(key.rsplit("/", 1)[1])
+            except ValueError:
+                continue
+            staged[index] = self.storage.oss.get_object(self.containers._bucket, key)
+        if indices != set(staged):
+            return None
+        data = bytearray(size)
+        base_version = payload.get("base_version")
+        path = str(payload["path"])
+        if base_version is not None and int(base_version) in self.store.catalog.versions(
+            path
+        ):
+            base = self.store.restore(path, int(base_version)).data
+            cut = min(len(base), size)
+            data[:cut] = base[:cut]
+        for index, blob in sorted(staged.items()):
+            lo = index * block_bytes
+            if lo >= size:
+                return None
+            cut = min(size - lo, len(blob))
+            data[lo : lo + cut] = blob[:cut]
+        if hashlib.sha256(data).hexdigest() != str(payload.get("sha")):
+            return None
+        return bytes(data)
 
     def _handle_snapshot(self, intent: Intent, report: RecoveryReport) -> None:
         """Snapshot run: publish a partial manifest of committed members.

@@ -111,6 +111,7 @@ class RestorePlanner:
         gap_bytes: int,
         breakdown: TimeBreakdown,
         counters: Counters,
+        metas: dict[int, ContainerMeta] | None = None,
     ) -> RestorePlan:
         """Build the access schedule (charging plan-time traffic).
 
@@ -120,9 +121,14 @@ class RestorePlanner:
         container (offsets may have moved since the recipe was written —
         compaction rewrites containers in place), resolves every record
         to its current owner, and coalesces the useful extents.
+
+        ``metas`` seeds (and shares) the container-metadata memo: a
+        browse session plans many small record subsets against the same
+        containers, so metadata fetched by one plan is reused by the
+        next instead of re-crossing the wire.
         """
         if ranged:
-            return self._plan_ranged(records, gap_bytes, breakdown, counters)
+            return self._plan_ranged(records, gap_bytes, breakdown, counters, metas)
         return self._plan_whole(records)
 
     # --- whole-container schedule ------------------------------------------
@@ -161,8 +167,11 @@ class RestorePlanner:
         gap_bytes: int,
         breakdown: TimeBreakdown,
         counters: Counters,
+        metas: dict[int, ContainerMeta] | None = None,
     ) -> RestorePlan:
         plan = RestorePlan(ranged=True)
+        if metas is not None:
+            plan.metas = metas
         redirects_before = counters.get("global_index_redirects")
         with self.storage.meter_reads() as plan_meter:
             # Pass 1: resolve every record to the container holding it now.

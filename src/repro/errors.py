@@ -99,6 +99,19 @@ class IntegrityError(RestoreError):
     """Restored bytes failed fingerprint verification."""
 
 
+class BrowseError(ReproError):
+    """A browse-session operation failed (bad handle, bad range, ...)."""
+
+
+class CacheFullError(BrowseError):
+    """Both block-cache tiers are full of un-uploaded dirty blocks.
+
+    Eviction never drops dirty data, so once every resident block is
+    dirty the only way forward is a flush; callers should flush and
+    retry rather than lose acknowledged writes.
+    """
+
+
 class KVStoreError(ReproError):
     """The LSM key-value store hit an inconsistent state."""
 

@@ -613,3 +613,50 @@ def simulate_restore_pipeline(
     stats.elapsed_seconds += setup_seconds
     stats.channel_busy_seconds = list(pool.busy_seconds)
     return stats
+
+
+@dataclass
+class UploadStats:
+    """Outcome of one batch of overlapped staging uploads."""
+
+    elapsed_seconds: float = 0.0
+    #: Busy seconds per upload channel.
+    channel_busy_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def serial_seconds(self) -> float:
+        """Duration the same uploads would take on a single channel."""
+        return sum(self.channel_busy_seconds)
+
+
+def simulate_upload_channels(
+    upload_seconds: Sequence[float], channels: int
+) -> UploadStats:
+    """Overlap independent uploads over ``channels`` background channels.
+
+    The browse cache's write-back flush stages each dirty block as one
+    OSS put; the endpoint charges those puts serially, so this schedule
+    converts the measured per-block durations into the wall time a pool
+    of concurrent upload channels would take (greedy FIFO assignment,
+    the same discipline as the ingest flush stage).
+    """
+    if channels < 1:
+        raise ValueError(f"need at least one upload channel, got {channels}")
+    stats = UploadStats()
+    if not upload_seconds:
+        stats.channel_busy_seconds = [0.0] * channels
+        return stats
+    loop = EventLoop()
+    pool = ChannelPool(loop, channels)
+    for duration in upload_seconds:
+        if duration < 0:
+            raise ValueError(f"upload duration cannot be negative: {duration}")
+
+        def start(channel_id: int, duration: float = duration) -> None:
+            pool.occupy(channel_id, duration)
+            loop.schedule(duration, lambda cid=channel_id: pool.release(cid))
+
+        pool.acquire(start)
+    stats.elapsed_seconds = loop.run()
+    stats.channel_busy_seconds = list(pool.busy_seconds)
+    return stats

@@ -130,6 +130,66 @@ class RetryStats:
 
 
 @dataclass
+class BlockCacheStats:
+    """Behaviour of one L-node browse block cache.
+
+    The browse bench reports hit ratios next to latencies, so the cache
+    counts every event class that explains a latency sample: hits (and
+    which tier served them), misses that went to OSS, readahead blocks
+    pulled in alongside a miss, evictions/demotions under pressure, and
+    the dirty-block write-back traffic.
+    """
+
+    #: Block lookups served from the memory tier.
+    memory_hits: int = 0
+    #: Block lookups served from the disk tier (promoted back to memory).
+    disk_hits: int = 0
+    #: Block lookups that had to be fetched from OSS.
+    misses: int = 0
+    #: Blocks inserted by readahead rather than a direct request.
+    readahead_blocks: int = 0
+    #: Clean blocks demoted memory → disk under memory pressure.
+    demotions: int = 0
+    #: Clean blocks dropped entirely (evicted from the disk tier, or from
+    #: memory when the disk tier is full).  Dirty blocks never count here:
+    #: eviction refuses to drop un-uploaded data.
+    evictions: int = 0
+    #: Dirty blocks uploaded by a write-back flush.
+    dirty_writebacks: int = 0
+    #: Bytes those write-backs staged to OSS.
+    writeback_bytes: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups served without touching OSS (either tier)."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache (0.0 with no lookups)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def snapshot(self) -> "BlockCacheStats":
+        """An independent copy, for before/after diffing in experiments."""
+        return BlockCacheStats(**vars(self))
+
+    def diff(self, earlier: "BlockCacheStats") -> "BlockCacheStats":
+        """Cache activity since ``earlier`` was snapshotted."""
+        return BlockCacheStats(
+            **{name: getattr(self, name) - getattr(earlier, name) for name in vars(self)}
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """A plain-dict snapshot (counters plus the derived hit ratio)."""
+        out: dict[str, float] = dict(vars(self))
+        out["hit_ratio"] = self.hit_ratio
+        return out
+
+
+@dataclass
 class LatencyStats:
     """Latency samples with percentile and SLO-attainment views.
 

@@ -1,0 +1,256 @@
+"""Unit and property tests for the L-node write-back block cache.
+
+The two safety invariants under test, straight from the module contract:
+dirty blocks are pinned (never dropped before :meth:`mark_clean`), and
+clean blocks evict in LRU order from the cold end of each tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.blockcache import BlockCache
+from repro.errors import CacheFullError
+
+KB = 1024
+
+
+def key(index: int, path: str = "f", version: int = 0):
+    return (path, version, index)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = BlockCache(4 * KB, 0)
+        assert cache.get(key(0)) is None
+        cache.put(key(0), b"abc")
+        assert cache.get(key(0)) == b"abc"
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_put_replaces_and_tracks_bytes(self):
+        cache = BlockCache(4 * KB, 0)
+        cache.put(key(0), b"x" * 100)
+        cache.put(key(0), b"y" * 40)
+        assert cache.memory_used == 40
+        assert cache.get(key(0)) == b"y" * 40
+
+    def test_peek_touches_nothing(self):
+        cache = BlockCache(4 * KB, 0)
+        cache.put(key(0), b"abc")
+        assert cache.peek(key(0)) == b"abc"
+        assert cache.peek(key(1)) is None
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BlockCache(0, 0)
+        with pytest.raises(ValueError):
+            BlockCache(1, -1)
+
+
+class TestCleanEviction:
+    def test_clean_blocks_evict_in_lru_order(self):
+        cache = BlockCache(3 * KB, 0)
+        for index in range(3):
+            cache.put(key(index), bytes(KB))
+        cache.get(key(0))  # 0 is now the hottest; 1 is the coldest
+        cache.put(key(3), bytes(KB))
+        assert not cache.contains(key(1))
+        assert cache.contains(key(0))
+        assert cache.stats.evictions == 1
+
+    def test_no_disk_tier_means_drop(self):
+        cache = BlockCache(KB, 0)
+        cache.put(key(0), bytes(KB))
+        cache.put(key(1), bytes(KB))
+        assert not cache.contains(key(0))
+        assert cache.stats.evictions == 1
+        assert cache.stats.demotions == 0
+
+    def test_clean_blocks_demote_to_disk_first(self):
+        cache = BlockCache(KB, 4 * KB)
+        cache.put(key(0), bytes(KB))
+        cache.put(key(1), bytes(KB))
+        assert cache.contains(key(0))
+        assert cache.stats.demotions == 1
+        assert cache.disk_used == KB
+
+    def test_disk_hit_promotes_back_to_memory(self):
+        cache = BlockCache(KB, 4 * KB)
+        cache.put(key(0), bytes(KB))
+        cache.put(key(1), bytes(KB))  # 0 demoted to disk
+        assert cache.get(key(0)) == bytes(KB)  # promotes; 1 demoted
+        assert cache.stats.disk_hits == 1
+        assert cache.memory_used == KB
+        cache.get(key(0))
+        assert cache.stats.memory_hits == 1
+
+    def test_oversized_block_is_refused(self):
+        cache = BlockCache(KB, 0)
+        with pytest.raises(CacheFullError):
+            cache.put(key(0), bytes(2 * KB))
+
+
+class TestDirtyPinning:
+    def test_dirty_block_demotes_but_never_drops(self):
+        cache = BlockCache(KB, 4 * KB)
+        cache.put(key(0), b"dirty" * 10, dirty=True)
+        for index in range(1, 6):
+            cache.put(key(index), bytes(KB))
+        assert cache.contains(key(0))
+        assert cache.is_dirty(key(0))
+        assert cache.peek(key(0)) == b"dirty" * 10
+
+    def test_all_dirty_and_full_raises_cache_full(self):
+        cache = BlockCache(KB, KB)
+        cache.put(key(0), bytes(KB), dirty=True)
+        cache.put(key(1), bytes(KB), dirty=True)  # demotes 0 to disk
+        with pytest.raises(CacheFullError):
+            cache.put(key(2), bytes(KB), dirty=True)
+        # The acknowledged writes both survived the refused insert.
+        assert cache.is_dirty(key(0)) and cache.is_dirty(key(1))
+
+    def test_mark_clean_unpins(self):
+        cache = BlockCache(KB, 0)
+        cache.put(key(0), bytes(KB), dirty=True)
+        cache.mark_clean(key(0))
+        cache.put(key(1), bytes(KB))  # now 0 may be evicted
+        assert not cache.contains(key(0))
+
+    def test_drop_refuses_dirty_without_forget(self):
+        cache = BlockCache(KB, 0)
+        cache.put(key(0), b"x", dirty=True)
+        with pytest.raises(CacheFullError):
+            cache.drop(key(0))
+        cache.drop(key(0), forget_dirty=True)
+        assert not cache.contains(key(0))
+
+    def test_disk_eviction_skips_dirty_blocks(self):
+        cache = BlockCache(KB, 2 * KB)
+        cache.put(key(0), bytes(KB), dirty=True)
+        cache.put(key(1), bytes(KB))  # dirty 0 demoted to disk
+        cache.put(key(2), bytes(KB))  # clean 1 demoted; disk full
+        cache.put(key(3), bytes(KB))  # disk evicts clean 1, not dirty 0
+        assert cache.contains(key(0))
+        assert not cache.contains(key(1))
+
+    def test_dirty_bytes(self):
+        cache = BlockCache(4 * KB, 0)
+        cache.put(key(0), b"abc", dirty=True)
+        cache.put(key(1), b"defg", dirty=True)
+        cache.put(key(2), b"clean")
+        assert cache.dirty_bytes == 7
+        assert cache.dirty_keys() == [key(0), key(1)]
+
+
+class TestRekeyAndDropVersion:
+    def test_rekey_moves_block_and_dirty_flag(self):
+        cache = BlockCache(4 * KB, 0)
+        cache.put(key(0, version=0), b"abc", dirty=True)
+        cache.rekey(key(0, version=0), key(0, version=1))
+        assert not cache.contains(key(0, version=0))
+        assert cache.peek(key(0, version=1)) == b"abc"
+        assert cache.is_dirty(key(0, version=1))
+        assert not cache.is_dirty(key(0, version=0))
+
+    def test_rekey_missing_is_a_noop(self):
+        cache = BlockCache(4 * KB, 0)
+        cache.rekey(key(0), key(1))
+        assert not cache.contains(key(1))
+
+    def test_drop_version_forgets_dirty(self):
+        cache = BlockCache(8 * KB, 0)
+        cache.put(key(0, version=0), b"a", dirty=True)
+        cache.put(key(1, version=0), b"b")
+        cache.put(key(0, version=1), b"c")
+        cache.drop_version("f", 0)
+        assert cache.resident_keys() == {key(0, version=1)}
+
+
+#: One random cache operation: (op, block index, payload length, dirty).
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "clean"]),
+        st.integers(0, 11),
+        st.integers(1, 512),
+        st.booleans(),
+    ),
+    max_size=60,
+)
+
+
+@given(_OPS)
+def test_property_dirty_blocks_survive_until_marked_clean(ops):
+    """Whatever the op sequence, an acknowledged (dirty) write is never
+    dropped: every still-dirty block stays resident with its exact bytes,
+    even when inserts start failing with CacheFullError."""
+    cache = BlockCache(1024, 1024)
+    expected: dict[tuple, bytes] = {}
+    for op, index, length, dirty in ops:
+        if op == "put":
+            data = bytes([index % 251]) * length
+            try:
+                cache.put(key(index), data, dirty=dirty)
+            except CacheFullError:
+                continue  # refused, not lost: prior dirty state must hold
+            if dirty:
+                expected[key(index)] = data
+            else:
+                expected.pop(key(index), None)
+        elif op == "get":
+            cache.get(key(index))
+        else:
+            cache.mark_clean(key(index))
+            expected.pop(key(index), None)
+        for dirty_key, payload in expected.items():
+            assert cache.contains(dirty_key)
+            assert cache.peek(dirty_key) == payload
+        assert cache.memory_used <= cache.memory_capacity
+        assert cache.disk_used <= cache.disk_capacity
+
+
+@given(_OPS)
+def test_property_read_your_writes(ops):
+    """A resident block always reads back the last bytes put under its key."""
+    cache = BlockCache(2048, 2048)
+    last: dict[tuple, bytes] = {}
+    for op, index, length, dirty in ops:
+        if op == "put":
+            data = index.to_bytes(2, "big") * length
+            try:
+                cache.put(key(index), data, dirty=dirty)
+            except CacheFullError:
+                continue
+            last[key(index)] = data
+        elif op == "get":
+            got = cache.get(key(index))
+            if got is not None:
+                assert got == last[key(index)]
+        else:
+            cache.mark_clean(key(index))
+
+
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+def test_property_clean_eviction_is_lru(touches):
+    """With clean blocks only, the evicted block is always the one whose
+    last touch (put or get) is oldest among the residents."""
+    capacity = 4
+    cache = BlockCache(capacity, 0)
+    order: list[int] = []  # coldest first
+    for index in touches:
+        resident = cache.resident_keys()
+        if key(index) in resident:
+            cache.get(key(index))
+            order.remove(index)
+        else:
+            cache.put(key(index), b"\x00")
+            if len(resident) == capacity:
+                victim = order.pop(0)
+                assert not cache.contains(key(victim))
+        order.append(index)
+        assert cache.resident_keys() == {key(i) for i in order}

@@ -28,6 +28,32 @@ class TestOssFileSystem:
         with pytest.raises(FileNotFoundError):
             fs.read_range("missing", 0, 1)
 
+    def test_read_range_clamps_short_tail(self, fs):
+        fs.write_file("f", b"0123456789")
+        assert fs.read_range("f", 7, 100) == b"789"
+
+    def test_read_range_at_eof_is_empty(self, fs):
+        fs.write_file("f", b"0123456789")
+        assert fs.read_range("f", 10, 5) == b""
+
+    def test_read_range_past_eof_raises(self, fs):
+        fs.write_file("f", b"0123456789")
+        with pytest.raises(ValueError):
+            fs.read_range("f", 11, 1)
+        with pytest.raises(ValueError):
+            fs.read_range("f", 11, 0)
+
+    def test_read_range_negative_arguments_raise(self, fs):
+        fs.write_file("f", b"0123456789")
+        with pytest.raises(ValueError):
+            fs.read_range("f", -1, 4)
+        with pytest.raises(ValueError):
+            fs.read_range("f", 0, -4)
+
+    def test_read_range_zero_length_inside_file(self, fs):
+        fs.write_file("f", b"0123456789")
+        assert fs.read_range("f", 3, 0) == b""
+
     def test_exists_and_delete(self, fs):
         fs.write_file("f", b"x")
         assert fs.exists("f")
@@ -58,3 +84,57 @@ class TestOssFileSystem:
         fs.read_file("f")
         after = oss.stats.get_requests + oss.stats.put_requests
         assert after - before == 2
+
+
+class TestBrowseFileSystem:
+    """The mount-like facade over backup versions (write-back commits)."""
+
+    @pytest.fixture
+    def mounted(self):
+        from repro import BrowseFileSystem, BrowseSession, SlimStore
+
+        store = SlimStore()
+        store.backup("vol/a.txt", b"hello world " * 1000)
+        store.backup("vol/b.txt", b"second file")
+        return store, BrowseFileSystem(BrowseSession(store))
+
+    def test_read_file_and_range(self, mounted):
+        _, bfs = mounted
+        content = b"hello world " * 1000
+        assert bfs.read_file("vol/a.txt") == content
+        assert bfs.read_range("vol/a.txt", 6, 5) == b"world"
+        assert bfs.read_range("/vol/a.txt", len(content) - 4, 100) == content[-4:]
+        assert bfs.read_range("vol/a.txt", len(content), 5) == b""
+        with pytest.raises(ValueError):
+            bfs.read_range("vol/a.txt", len(content) + 1, 1)
+
+    def test_missing_raises_file_not_found(self, mounted):
+        _, bfs = mounted
+        with pytest.raises(FileNotFoundError):
+            bfs.read_file("vol/nope")
+        with pytest.raises(FileNotFoundError):
+            bfs.read_file("vol/a.txt", version=9)
+
+    def test_exists_list_dir_and_versions(self, mounted):
+        _, bfs = mounted
+        assert bfs.exists("vol/a.txt") and not bfs.exists("vol/zzz")
+        assert bfs.list_dir("vol") == ["vol/a.txt", "vol/b.txt"]
+        assert bfs.versions("vol/a.txt") == [0]
+
+    def test_write_file_commits_on_flush(self, mounted):
+        store, bfs = mounted
+        bfs.write_file("vol/a.txt", b"replaced")
+        assert bfs.read_file("vol/a.txt") == b"replaced"  # write-back view
+        assert store.restore("vol/a.txt").data != b"replaced"  # not yet
+        reports = bfs.flush()
+        assert [r.path for r in reports] == ["vol/a.txt"]
+        assert store.restore("vol/a.txt").data == b"replaced"
+        assert bfs.versions("vol/a.txt") == [0, 1]
+
+    def test_write_range_and_stat(self, mounted):
+        store, bfs = mounted
+        assert bfs.write_range("vol/b.txt", 7, b"edit") == 4
+        assert bfs.stat("vol/b.txt").dirty
+        bfs.flush("vol/b.txt")
+        assert store.restore("vol/b.txt").data == b"second edit"
+        assert not bfs.stat("vol/b.txt").dirty

@@ -374,3 +374,71 @@ class TestTenantCommands:
         source.write_bytes(random_bytes(rng, 16 * 1024))
         assert main(["tenant", "backup", str(repo), "Alice", str(source)]) == 2
         assert "lowercase" in capsys.readouterr().err
+
+
+class TestBrowseCommands:
+    def test_read_write_stat_lifecycle(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        payload = random_bytes(rng, 64 * 1024)
+        store = open_repository(repo)
+        store.backup("f", payload)
+
+        assert main(["browse", "stat", str(repo), "f"]) == 0
+        captured = capsys.readouterr()
+        assert "version:       0" in captured.out
+        assert "blockcache:" in captured.err
+
+        out = tmp_path / "slice.bin"
+        assert main(["browse", "read", str(repo), "f", "1000", "64",
+                     "--output", str(out)]) == 0
+        assert out.read_bytes() == payload[1000:1064]
+
+        full = tmp_path / "full.bin"
+        assert main(["browse", "cat", str(repo), "f",
+                     "--output", str(full)]) == 0
+        assert full.read_bytes() == payload
+
+        patch = tmp_path / "patch.bin"
+        patch.write_bytes(b"PATCHED")
+        assert main(["browse", "write", str(repo), "f", "2048",
+                     str(patch)]) == 0
+        assert "committed as v1" in capsys.readouterr().out
+
+        expected = bytearray(payload)
+        expected[2048:2055] = b"PATCHED"
+        assert main(["browse", "cat", str(repo), "f",
+                     "--output", str(full)]) == 0
+        assert full.read_bytes() == bytes(expected)
+
+    def test_read_past_eof_is_a_clean_error(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        store = open_repository(repo)
+        store.backup("f", random_bytes(rng, 1024))
+
+        assert main(["browse", "read", str(repo), "f", "99999", "5"]) == 1
+        assert "past EOF" in capsys.readouterr().err
+
+    def test_fsck_reports_and_reaps_cache_debris(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        store = open_repository(repo)
+        store.backup("f", random_bytes(rng, 1024))
+        store.oss.put_object(store.bucket, "browsecache/000000000009/00000000",
+                             b"debris")
+
+        assert main(["fsck", str(repo)]) == 1
+        captured = capsys.readouterr()
+        assert "CACHE DEBRIS" in captured.err
+        assert "1 debris objects" in captured.out
+
+        assert main(["fsck", str(repo), "--repair"]) == 0
+        assert "1 cache staging objects reaped" in capsys.readouterr().out
+        assert main(["fsck", str(repo)]) == 0
+
+    def test_stats_command_prints_cache_line(self, tmp_path, rng, capsys):
+        repo = tmp_path / "repo"
+        store = open_repository(repo)
+        store.backup("f", random_bytes(rng, 8 * 1024))
+
+        assert main(["browse", "stats", str(repo), "f"]) == 0
+        line = capsys.readouterr().out
+        assert "blockcache:" in line and "hit_ratio=" in line
